@@ -1,0 +1,99 @@
+//! Design-space exploration over (D, B, R) — paper Sec. V-F.
+//!
+//! The paper sweeps tree depth, bank count, and registers per bank,
+//! evaluating latency, energy, and energy-delay product on representative
+//! workloads, and selects (D=3, B=64, R=32). [`explore_design_space`]
+//! reruns that sweep with a caller-provided evaluation function (the bench
+//! harness passes a real compiled-workload runner).
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ArchConfig;
+
+/// One evaluated configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Tree depth D.
+    pub tree_depth: usize,
+    /// Bank count B.
+    pub num_banks: usize,
+    /// Registers per bank R.
+    pub regs_per_bank: usize,
+    /// Measured latency (cycles).
+    pub cycles: u64,
+    /// Measured energy (joules).
+    pub energy_j: f64,
+}
+
+impl DesignPoint {
+    /// Energy-delay product (J·cycles) — the paper's selection metric.
+    pub fn edp(&self) -> f64 {
+        self.energy_j * self.cycles as f64
+    }
+}
+
+/// Sweeps the (D, B, R) grid, evaluating each point with `evaluate`
+/// (which receives a fully formed [`ArchConfig`] and returns
+/// `(cycles, energy_j)`). Returns all points sorted by EDP, best first.
+pub fn explore_design_space<F>(
+    depths: &[usize],
+    banks: &[usize],
+    regs: &[usize],
+    base: &ArchConfig,
+    mut evaluate: F,
+) -> Vec<DesignPoint>
+where
+    F: FnMut(&ArchConfig) -> (u64, f64),
+{
+    let mut points = Vec::new();
+    for &d in depths {
+        for &b in banks {
+            for &r in regs {
+                let config = ArchConfig {
+                    tree_depth: d,
+                    num_banks: b,
+                    regs_per_bank: r,
+                    ..*base
+                };
+                config.validate();
+                let (cycles, energy_j) = evaluate(&config);
+                points.push(DesignPoint {
+                    tree_depth: d,
+                    num_banks: b,
+                    regs_per_bank: r,
+                    cycles,
+                    energy_j,
+                });
+            }
+        }
+    }
+    points.sort_by(|a, b| a.edp().partial_cmp(&b.edp()).expect("finite EDP"));
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_grid_and_sorts_by_edp() {
+        let base = ArchConfig::paper();
+        // Synthetic evaluator: deeper trees are faster but costlier; the
+        // middle point should win on EDP.
+        let points = explore_design_space(&[2, 3, 4], &[32, 64], &[16, 32], &base, |c| {
+            let cycles = 1000 / c.tree_depth as u64 + (c.num_banks as u64) / 8;
+            let energy = 1e-6 * (c.tree_depth * c.num_banks * c.regs_per_bank) as f64;
+            (cycles, energy)
+        });
+        assert_eq!(points.len(), 3 * 2 * 2);
+        for w in points.windows(2) {
+            assert!(w[0].edp() <= w[1].edp());
+        }
+    }
+
+    #[test]
+    fn edp_definition() {
+        let p = DesignPoint { tree_depth: 3, num_banks: 64, regs_per_bank: 32, cycles: 100, energy_j: 0.5 };
+        assert_eq!(p.edp(), 50.0);
+    }
+}

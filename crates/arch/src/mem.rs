@@ -1,0 +1,256 @@
+//! Banked register file, scratchpad, and DMA models.
+//!
+//! REASON's RTE reads operands from dual-port banked SRAM through the
+//! Benes crossbar and writes results back one-bank-per-PE (paper
+//! Sec. V-C). The register-file model tracks per-cycle port conflicts
+//! (the quantity the compiler's conflict-aware bank mapping minimizes)
+//! and implements the automatic lowest-free write-address policy the
+//! paper describes.
+
+use serde::{Deserialize, Serialize};
+
+/// A (bank, address) register-file location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BankAddr {
+    /// Bank index.
+    pub bank: u16,
+    /// Word address within the bank.
+    pub addr: u16,
+}
+
+impl BankAddr {
+    /// Creates a location.
+    pub fn new(bank: usize, addr: usize) -> Self {
+        BankAddr { bank: bank as u16, addr: addr as u16 }
+    }
+}
+
+/// Access statistics of the memory system.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryStats {
+    /// Register reads served.
+    pub reads: u64,
+    /// Register writes served.
+    pub writes: u64,
+    /// Extra cycles lost to same-cycle bank port conflicts.
+    pub conflict_cycles: u64,
+    /// DMA transfers issued.
+    pub dma_transfers: u64,
+    /// Bytes moved by DMA.
+    pub dma_bytes: u64,
+}
+
+/// The banked register file with dual-port banks and automatic write
+/// addressing.
+#[derive(Debug, Clone)]
+pub struct RegisterBanks {
+    num_banks: usize,
+    regs_per_bank: usize,
+    /// `values[bank][addr]`.
+    values: Vec<Vec<f64>>,
+    /// Occupancy bitmap per bank.
+    occupied: Vec<Vec<bool>>,
+    stats: MemoryStats,
+}
+
+impl RegisterBanks {
+    /// Creates an empty register file.
+    pub fn new(num_banks: usize, regs_per_bank: usize) -> Self {
+        RegisterBanks {
+            num_banks,
+            regs_per_bank,
+            values: vec![vec![0.0; regs_per_bank]; num_banks],
+            occupied: vec![vec![false; regs_per_bank]; num_banks],
+            stats: MemoryStats::default(),
+        }
+    }
+
+    /// Number of banks.
+    pub fn num_banks(&self) -> usize {
+        self.num_banks
+    }
+
+    /// Registers per bank.
+    pub fn regs_per_bank(&self) -> usize {
+        self.regs_per_bank
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &MemoryStats {
+        &self.stats
+    }
+
+    /// Writes `value` at the lowest free address of `bank` (the paper's
+    /// automatic write-address generation), returning the location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank is full or out of range.
+    pub fn alloc_write(&mut self, bank: usize, value: f64) -> BankAddr {
+        assert!(bank < self.num_banks, "bank out of range");
+        let addr = self.occupied[bank]
+            .iter()
+            .position(|&o| !o)
+            .unwrap_or_else(|| panic!("bank {bank} is full (register spill required)"));
+        self.occupied[bank][addr] = true;
+        self.values[bank][addr] = value;
+        self.stats.writes += 1;
+        BankAddr::new(bank, addr)
+    }
+
+    /// Predicts the location [`alloc_write`](Self::alloc_write) would use
+    /// for `bank` without performing the write — the compiler-side mirror
+    /// of automatic write addressing.
+    pub fn peek_write_addr(&self, bank: usize) -> Option<BankAddr> {
+        self.occupied[bank].iter().position(|&o| !o).map(|addr| BankAddr::new(bank, addr))
+    }
+
+    /// Writes to an explicit location (program loads, spill restores).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range locations.
+    pub fn write_at(&mut self, at: BankAddr, value: f64) {
+        assert!((at.bank as usize) < self.num_banks, "bank out of range");
+        assert!((at.addr as usize) < self.regs_per_bank, "address out of range");
+        self.values[at.bank as usize][at.addr as usize] = value;
+        self.occupied[at.bank as usize][at.addr as usize] = true;
+        self.stats.writes += 1;
+    }
+
+    /// Reads a location.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range or unoccupied locations.
+    pub fn read(&mut self, at: BankAddr) -> f64 {
+        assert!((at.bank as usize) < self.num_banks, "bank out of range");
+        assert!(
+            self.occupied[at.bank as usize][at.addr as usize],
+            "read of unwritten register {at:?}"
+        );
+        self.stats.reads += 1;
+        self.values[at.bank as usize][at.addr as usize]
+    }
+
+    /// Frees a location for reuse (end of live range).
+    pub fn free(&mut self, at: BankAddr) {
+        self.occupied[at.bank as usize][at.addr as usize] = false;
+    }
+
+    /// Extra cycles needed to serve a set of same-cycle reads given
+    /// dual-port banks: `max over banks of ceil(reads_in_bank / 2) - 1`.
+    ///
+    /// Records the conflict penalty in the statistics.
+    pub fn conflict_penalty(&mut self, reads: &[BankAddr]) -> u64 {
+        let mut per_bank = vec![0u64; self.num_banks];
+        for r in reads {
+            per_bank[r.bank as usize] += 1;
+        }
+        let worst = per_bank.iter().map(|&n| n.div_ceil(2)).max().unwrap_or(0);
+        let penalty = worst.saturating_sub(1);
+        self.stats.conflict_cycles += penalty;
+        penalty
+    }
+
+    /// Live register count per bank (register-pressure diagnostics).
+    pub fn occupancy(&self) -> Vec<usize> {
+        self.occupied.iter().map(|b| b.iter().filter(|&&o| o).count()).collect()
+    }
+}
+
+/// DMA / prefetcher latency model: a fixed issue latency plus a
+/// bandwidth-limited transfer term.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DmaModel {
+    /// Issue + DRAM access latency in cycles (LPDDR5-class, ~100 ns at
+    /// 500 MHz ⇒ ~50 cycles).
+    pub latency_cycles: u64,
+    /// Bytes delivered per cycle (104 GB/s at 500 MHz ≈ 208 B/cycle).
+    pub bytes_per_cycle: f64,
+}
+
+impl DmaModel {
+    /// The paper platform's DMA: LPDDR5 at 104 GB/s, 500 MHz core.
+    pub fn paper() -> Self {
+        DmaModel { latency_cycles: 50, bytes_per_cycle: 208.0 }
+    }
+
+    /// Cycles to move `bytes` from DRAM.
+    pub fn transfer_cycles(&self, bytes: u64) -> u64 {
+        self.latency_cycles + (bytes as f64 / self.bytes_per_cycle).ceil() as u64
+    }
+}
+
+impl Default for DmaModel {
+    fn default() -> Self {
+        DmaModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_addressing_uses_lowest_free() {
+        let mut rf = RegisterBanks::new(4, 4);
+        let a = rf.alloc_write(1, 1.0);
+        let b = rf.alloc_write(1, 2.0);
+        assert_eq!(a, BankAddr::new(1, 0));
+        assert_eq!(b, BankAddr::new(1, 1));
+        rf.free(a);
+        let c = rf.alloc_write(1, 3.0);
+        assert_eq!(c, BankAddr::new(1, 0), "freed slot is reused first");
+        assert_eq!(rf.read(c), 3.0);
+        assert_eq!(rf.read(b), 2.0);
+    }
+
+    #[test]
+    fn peek_matches_alloc() {
+        let mut rf = RegisterBanks::new(2, 4);
+        let predicted = rf.peek_write_addr(0).unwrap();
+        let actual = rf.alloc_write(0, 5.0);
+        assert_eq!(predicted, actual);
+    }
+
+    #[test]
+    #[should_panic(expected = "full")]
+    fn overflow_panics() {
+        let mut rf = RegisterBanks::new(1, 2);
+        rf.alloc_write(0, 1.0);
+        rf.alloc_write(0, 2.0);
+        rf.alloc_write(0, 3.0);
+    }
+
+    #[test]
+    fn dual_port_conflicts() {
+        let mut rf = RegisterBanks::new(4, 8);
+        // Two reads in one bank: dual ports cover it.
+        let reads = vec![BankAddr::new(0, 0), BankAddr::new(0, 1)];
+        assert_eq!(rf.conflict_penalty(&reads), 0);
+        // Four reads in one bank: one extra cycle.
+        let reads: Vec<BankAddr> = (0..4).map(|a| BankAddr::new(0, a)).collect();
+        assert_eq!(rf.conflict_penalty(&reads), 1);
+        // Spread across banks: free.
+        let reads: Vec<BankAddr> = (0..4).map(|b| BankAddr::new(b, 0)).collect();
+        assert_eq!(rf.conflict_penalty(&reads), 0);
+        assert_eq!(rf.stats().conflict_cycles, 1);
+    }
+
+    #[test]
+    fn dma_cycles_scale_with_bytes() {
+        let dma = DmaModel::paper();
+        let small = dma.transfer_cycles(64);
+        let large = dma.transfer_cycles(64 * 1024);
+        assert!(small >= dma.latency_cycles);
+        assert!(large > small);
+    }
+
+    #[test]
+    #[should_panic(expected = "unwritten")]
+    fn reading_unwritten_register_panics() {
+        let mut rf = RegisterBanks::new(2, 2);
+        let _ = rf.read(BankAddr::new(0, 0));
+    }
+}

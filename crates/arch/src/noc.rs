@@ -1,0 +1,147 @@
+//! Interconnect topology scalability models (paper Fig. 8).
+//!
+//! REASON's inter-node topology is a tree: broadcast from the root reaches
+//! `N` leaves in `O(log N)` hops, versus `O(√N)` for a mesh and `O(N)`
+//! for an all-to-one bus whose fan-out forces buffer chains after layout.
+//! These models regenerate both Fig. 8(a) (latency breakdown as leaf count
+//! grows) and Fig. 8(b) (broadcast-to-root cycle counts).
+
+use serde::{Deserialize, Serialize};
+
+/// Inter-node interconnect topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NocTopology {
+    /// Binary tree (REASON's choice).
+    Tree,
+    /// 2-D mesh.
+    Mesh,
+    /// All-to-one bus.
+    AllToOne,
+}
+
+impl NocTopology {
+    /// All three topologies, in the paper's plotting order.
+    pub fn all() -> [NocTopology; 3] {
+        [NocTopology::AllToOne, NocTopology::Mesh, NocTopology::Tree]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NocTopology::Tree => "Tree",
+            NocTopology::Mesh => "Mesh",
+            NocTopology::AllToOne => "All-to-One",
+        }
+    }
+}
+
+/// Cycles for a root-to-leaf broadcast (equivalently leaf-to-root
+/// reduction) across `n` leaves.
+///
+/// * tree: `ceil(log2 n)` pipelined hop stages;
+/// * mesh: `2·(√n − 1)` X-Y hops;
+/// * all-to-one: `n/2` cycles of serialized bus arbitration and buffer
+///   chains (post-layout fan-out repair, paper Sec. V-D).
+pub fn broadcast_latency_cycles(topology: NocTopology, n: usize) -> u64 {
+    assert!(n >= 1, "need at least one leaf");
+    match topology {
+        NocTopology::Tree => (usize::BITS - (n - 1).leading_zeros()) as u64,
+        NocTopology::Mesh => {
+            let side = (n as f64).sqrt().ceil() as u64;
+            2 * side.saturating_sub(1)
+        }
+        NocTopology::AllToOne => (n as u64).div_ceil(2).max(1),
+    }
+}
+
+/// One bar of Fig. 8(a): normalized latency decomposed into memory, PE,
+/// peripheries, and inter-node components.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NocLatencyBreakdown {
+    /// Topology of this bar.
+    pub topology: NocTopology,
+    /// Leaf count.
+    pub leaves: usize,
+    /// Memory access component (cycles).
+    pub memory: f64,
+    /// PE compute component.
+    pub pe: f64,
+    /// Peripheral logic (decode/control) component.
+    pub peripheries: f64,
+    /// Inter-node traversal component.
+    pub inter_node: f64,
+}
+
+impl NocLatencyBreakdown {
+    /// Total latency.
+    pub fn total(&self) -> f64 {
+        self.memory + self.pe + self.peripheries + self.inter_node
+    }
+}
+
+/// Computes the Fig. 8(a) latency breakdown for a reduction across `n`
+/// leaves: memory/PE/peripheries grow slowly and identically across
+/// topologies; the inter-node term is what separates them.
+pub fn noc_latency_breakdown(topology: NocTopology, n: usize) -> NocLatencyBreakdown {
+    let inter = broadcast_latency_cycles(topology, n) as f64;
+    // Memory: one banked fetch per leaf, dual-ported, pipelined.
+    let memory = 2.0 + (n as f64 / 8.0);
+    // PE compute: one op per level of whatever reduction structure exists;
+    // approximately log for all (compute is not the differentiator).
+    let pe = (n as f64).log2().max(1.0);
+    let peripheries = 1.5;
+    NocLatencyBreakdown { topology, leaves: n, memory, pe, peripheries, inter_node: inter }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asymptotic_ordering_holds() {
+        for &n in &[8usize, 16, 32, 64, 128] {
+            let tree = broadcast_latency_cycles(NocTopology::Tree, n);
+            let mesh = broadcast_latency_cycles(NocTopology::Mesh, n);
+            let bus = broadcast_latency_cycles(NocTopology::AllToOne, n);
+            assert!(tree <= mesh, "tree must beat mesh at n={n}");
+            assert!(mesh <= bus, "mesh must beat bus at n={n}");
+        }
+    }
+
+    #[test]
+    fn tree_is_logarithmic() {
+        assert_eq!(broadcast_latency_cycles(NocTopology::Tree, 2), 1);
+        assert_eq!(broadcast_latency_cycles(NocTopology::Tree, 8), 3);
+        assert_eq!(broadcast_latency_cycles(NocTopology::Tree, 64), 6);
+        // Doubling N adds one cycle.
+        for k in 3..8 {
+            let a = broadcast_latency_cycles(NocTopology::Tree, 1 << k);
+            let b = broadcast_latency_cycles(NocTopology::Tree, 1 << (k + 1));
+            assert_eq!(b - a, 1);
+        }
+    }
+
+    #[test]
+    fn mesh_is_sqrt() {
+        let a = broadcast_latency_cycles(NocTopology::Mesh, 16);
+        let b = broadcast_latency_cycles(NocTopology::Mesh, 64);
+        // 4x leaves → 2x latency.
+        assert_eq!(a, 6);
+        assert_eq!(b, 14);
+    }
+
+    #[test]
+    fn bus_is_linear() {
+        let a = broadcast_latency_cycles(NocTopology::AllToOne, 32);
+        let b = broadcast_latency_cycles(NocTopology::AllToOne, 64);
+        assert_eq!(b, 2 * a);
+    }
+
+    #[test]
+    fn breakdown_totals_are_dominated_by_internode_at_scale() {
+        let b = noc_latency_breakdown(NocTopology::AllToOne, 256);
+        assert!(b.inter_node > b.memory + b.pe + b.peripheries);
+        let t = noc_latency_breakdown(NocTopology::Tree, 256);
+        assert!(t.total() < b.total());
+    }
+}

@@ -1,0 +1,78 @@
+//! The REASON accelerator itself: compile time, DAG-mode execution,
+//! symbolic-mode execution, and the hardware-technique ablations
+//! (Sec. VII-C, Table V's hardware column).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use reason_arch::{ArchConfig, SymbolicEngine, VliwExecutor};
+use reason_compiler::ReasonCompiler;
+use reason_core::{dag_from_circuit, regularize, KernelSource, ReasonPipeline};
+use reason_pc::{random_mixture_circuit, StructureConfig};
+use reason_sat::gen::random_ksat;
+
+fn bench_compiler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compiler");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let circuit = random_mixture_circuit(&StructureConfig {
+        num_vars: 10,
+        depth: 3,
+        num_components: 3,
+        seed: 2,
+    });
+    let (dag, _) = dag_from_circuit(&circuit);
+    let dag = regularize(&dag);
+    let config = ArchConfig::paper();
+    g.bench_function("map_pc_dag", |b| {
+        b.iter(|| ReasonCompiler::new(config).compile(&dag).unwrap())
+    });
+    let cnf = random_ksat(20, 85, 3, 5);
+    g.bench_function("pipeline_sat_kernel", |b| {
+        b.iter(|| ReasonPipeline::new().compile(KernelSource::Sat(&cnf)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_dag_mode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("accelerator_dag_mode");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let circuit = random_mixture_circuit(&StructureConfig {
+        num_vars: 10,
+        depth: 3,
+        num_components: 3,
+        seed: 2,
+    });
+    let (dag, map) = dag_from_circuit(&circuit);
+    let dag = regularize(&dag);
+    let inputs = map.inputs_for_evidence(circuit.arities(), &vec![None; 10]);
+
+    let full = ArchConfig::paper();
+    let mut no_sched = full;
+    no_sched.ablation.scheduling = false;
+    let mut no_banks = full;
+    no_banks.ablation.bank_mapping = false;
+
+    for (name, cfg) in [("full", full), ("no_scheduling", no_sched), ("no_bank_mapping", no_banks)] {
+        let kernel = ReasonCompiler::new(cfg).compile(&dag).unwrap();
+        let program = kernel.program(&inputs);
+        let exec = VliwExecutor::new(cfg);
+        g.bench_function(name, |b| b.iter(|| exec.execute(&program)));
+    }
+    g.finish();
+}
+
+fn bench_symbolic_mode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("accelerator_symbolic_mode");
+    g.measurement_time(Duration::from_secs(2)).sample_size(10);
+    let cnf = random_ksat(30, 126, 3, 9);
+    let full = SymbolicEngine::new(ArchConfig::paper());
+    let mut cfg = ArchConfig::paper();
+    cfg.ablation.wl_memory_layout = false;
+    let scan = SymbolicEngine::new(cfg);
+    g.bench_function("with_wl_layout", |b| b.iter(|| full.solve(&cnf)));
+    g.bench_function("without_wl_layout", |b| b.iter(|| scan.solve(&cnf)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_compiler, bench_dag_mode, bench_symbolic_mode);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! End-to-end platform comparisons behind paper Figs. 11-13: per-task
+//! cost evaluation across REASON and the baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use reason_bench::{baseline_symbolic_cost, end_to_end_cost, Platform};
+use reason_workloads::{Dataset, Scale, TaskSpec};
+
+fn bench_symbolic_stage(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_symbolic_stage_eval");
+    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+    let spec = TaskSpec::new(Dataset::TwinSafety, Scale::Small, 0);
+    for platform in Platform::all() {
+        g.bench_with_input(BenchmarkId::from_parameter(platform.name()), &spec, |b, s| {
+            b.iter(|| baseline_symbolic_cost(platform, s))
+        });
+    }
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_end_to_end_eval");
+    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+    for dataset in [Dataset::Imo, Dataset::CommonGen] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(dataset.name()),
+            &dataset,
+            |b, &d| b.iter(|| end_to_end_cost(Platform::Reason, d, 2)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_symbolic_stage, bench_end_to_end);
+criterion_main!(benches);

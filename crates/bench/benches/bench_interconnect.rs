@@ -1,0 +1,44 @@
+//! Interconnect benchmarks behind paper Fig. 8: Benes route computation
+//! and broadcast-latency scaling across topologies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use reason_arch::{broadcast_latency_cycles, BenesNetwork, NocTopology};
+
+fn bench_benes_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("benes_route");
+    g.measurement_time(Duration::from_secs(2)).sample_size(30);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    for &n in &[8usize, 16, 32, 64] {
+        let net = BenesNetwork::new(n);
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.shuffle(&mut rng);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &perm, |b, p| {
+            b.iter(|| net.route(p).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_topology_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_broadcast_latency");
+    g.measurement_time(Duration::from_secs(1)).sample_size(30);
+    for topo in NocTopology::all() {
+        g.bench_function(topo.name(), |b| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for mult in 1..=8 {
+                    total += broadcast_latency_cycles(topo, 8 * mult);
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_benes_routing, bench_topology_scaling);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Table II kernels on the baseline device models (GPU/CPU): the
+//! characterization measurements behind paper Fig. 3 and Table II.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use reason_sim::{CpuModel, GpuModel, KernelProfile};
+
+fn bench_gpu_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gpu_model_table2");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let gpu = GpuModel::a6000();
+    for kernel in KernelProfile::table2_suite() {
+        g.bench_with_input(BenchmarkId::from_parameter(&kernel.name), &kernel, |b, k| {
+            b.iter(|| gpu.run(k))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cpu_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu_model_table2");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let cpu = CpuModel::xeon();
+    for kernel in KernelProfile::table2_suite() {
+        g.bench_with_input(BenchmarkId::from_parameter(&kernel.name), &kernel, |b, k| {
+            b.iter(|| cpu.run(k))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gpu_model, bench_cpu_model);
+criterion_main!(benches);

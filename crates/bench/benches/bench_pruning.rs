@@ -1,0 +1,54 @@
+//! Adaptive-pruning benchmarks behind paper Table IV: binary-implication-
+//! graph preprocessing for logic and circuit-flow pruning for PCs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reason_hmm::{prune_transitions, sample::sample_sequence, Hmm};
+use reason_pc::{prune_by_flow, random_mixture_circuit, StructureConfig};
+use reason_sat::gen::random_ksat;
+use reason_sat::Preprocessor;
+
+fn bench_symbolic_pruning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prune_symbolic");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for &vars in &[20usize, 40, 80] {
+        let cnf = random_ksat(vars, vars * 4, 3, 7);
+        g.bench_with_input(BenchmarkId::from_parameter(vars), &cnf, |b, cnf| {
+            b.iter(|| Preprocessor::new().run(cnf))
+        });
+    }
+    g.finish();
+}
+
+fn bench_flow_pruning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prune_circuit_flow");
+    g.measurement_time(Duration::from_secs(2)).sample_size(10);
+    let circuit = random_mixture_circuit(&StructureConfig {
+        num_vars: 10,
+        depth: 3,
+        num_components: 3,
+        seed: 5,
+    });
+    let mut rng = StdRng::seed_from_u64(0);
+    let data: Vec<Vec<usize>> =
+        (0..50).map(|_| (0..10).map(|_| usize::from(rng.gen_bool(0.8))).collect()).collect();
+    g.bench_function("pc_flow_prune_30pct", |b| b.iter(|| prune_by_flow(&circuit, &data, 0.3)));
+    g.finish();
+}
+
+fn bench_hmm_pruning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prune_hmm_posterior");
+    g.measurement_time(Duration::from_secs(2)).sample_size(10);
+    let hmm = Hmm::random(8, 10, 1);
+    let mut rng = StdRng::seed_from_u64(2);
+    let data: Vec<Vec<usize>> =
+        (0..20).map(|_| sample_sequence(&hmm, 20, &mut rng).observations).collect();
+    g.bench_function("transitions_1pct", |b| b.iter(|| prune_transitions(&hmm, &data, 0.01)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_symbolic_pruning, bench_flow_pruning, bench_hmm_pruning);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Micro-benchmarks of the reasoning substrates: the kernels REASON
+//! accelerates, measured in software (the reference implementations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use reason_fol::{parse_formula, prove};
+use reason_hmm::{Dfa, Hmm};
+use reason_pc::{random_mixture_circuit, Evidence, StructureConfig};
+use reason_sat::gen::random_ksat;
+use reason_sat::CdclSolver;
+
+fn bench_sat(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sat_cdcl");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for &(vars, clauses) in &[(30usize, 126usize), (60, 255), (90, 384)] {
+        let cnf = random_ksat(vars, clauses, 3, 42);
+        g.bench_with_input(BenchmarkId::from_parameter(vars), &cnf, |b, cnf| {
+            b.iter(|| CdclSolver::new(cnf).solve())
+        });
+    }
+    g.finish();
+}
+
+fn bench_pc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pc_marginal");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for &vars in &[8usize, 12, 16] {
+        let circuit = random_mixture_circuit(&StructureConfig {
+            num_vars: vars,
+            depth: 3,
+            num_components: 3,
+            seed: 1,
+        });
+        let ev = Evidence::empty(vars);
+        g.bench_with_input(BenchmarkId::from_parameter(vars), &(circuit, ev), |b, (c, e)| {
+            b.iter(|| c.probability(e))
+        });
+    }
+    g.finish();
+}
+
+fn bench_hmm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hmm");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let hmm = Hmm::random(16, 24, 3);
+    let obs: Vec<usize> = (0..64).map(|t| t % 24).collect();
+    g.bench_function("forward_64", |b| b.iter(|| hmm.log_likelihood(&obs)));
+    g.bench_function("viterbi_64", |b| b.iter(|| hmm.viterbi(&obs)));
+    let small = Hmm::random(6, 8, 4);
+    let dfa = Dfa::contains_keyword(&[1, 2], 8);
+    g.bench_function("constrained_decode_12", |b| b.iter(|| small.constrained_decode(&dfa, 12)));
+    g.finish();
+}
+
+fn bench_fol(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fol_resolution");
+    g.measurement_time(Duration::from_secs(2)).sample_size(10);
+    let axioms = vec![
+        parse_formula("forall X. forall Y. forall Z. ((le(X, Y) & le(Y, Z)) -> le(X, Z))").unwrap(),
+        parse_formula("le(a, b)").unwrap(),
+        parse_formula("le(b, c)").unwrap(),
+        parse_formula("le(c, d)").unwrap(),
+    ];
+    let goal = parse_formula("le(a, d)").unwrap();
+    g.bench_function("transitive_chain", |b| b.iter(|| prove(&axioms, &goal, 20_000)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_sat, bench_pc, bench_hmm, bench_fol);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! `reason-eval` — regenerates every table and figure of the REASON
+//! paper's evaluation.
+//!
+//! ```text
+//! reason-eval <experiment> [tasks]
+//!   experiments: fig2 fig3a fig3b fig3c fig3d table2 table3 table4
+//!                fig8 fig11 fig12 fig13 table5 ablation dse all
+//! ```
+
+use reason_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("all");
+    let tasks: usize = args.get(2).and_then(|t| t.parse().ok()).unwrap_or(4);
+
+    let run = |name: &str| -> Option<String> {
+        match name {
+            "fig2" => Some(experiments::fig2()),
+            "fig3a" => Some(experiments::fig3a()),
+            "fig3b" => Some(experiments::fig3b()),
+            "fig3c" => Some(experiments::fig3c()),
+            "fig3d" => Some(experiments::fig3d()),
+            "table2" => Some(experiments::table2()),
+            "table3" => Some(experiments::table3()),
+            "table4" => Some(experiments::table4(tasks)),
+            "fig8" => Some(experiments::fig8()),
+            "fig9" => Some(experiments::fig9()),
+            "fig11" => Some(experiments::fig11(tasks)),
+            "fig12" => Some(experiments::fig12(tasks)),
+            "fig13" => Some(experiments::fig13()),
+            "table5" => Some(experiments::table5(tasks)),
+            "ablation" => Some(experiments::ablation()),
+            "dse" => Some(experiments::dse()),
+            _ => None,
+        }
+    };
+
+    if which == "all" {
+        for name in [
+            "fig2", "fig3a", "fig3b", "fig3c", "fig3d", "table2", "table3", "table4", "fig8",
+            "fig9", "fig11", "fig12", "fig13", "table5", "ablation", "dse",
+        ] {
+            println!("{}", run(name).expect("known experiment"));
+        }
+    } else {
+        match run(which) {
+            Some(text) => println!("{text}"),
+            None => {
+                eprintln!(
+                    "unknown experiment `{which}`; expected one of: fig2 fig3a fig3b fig3c \
+                     fig3d table2 table3 table4 fig8 fig9 fig11 fig12 fig13 table5 ablation dse all"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

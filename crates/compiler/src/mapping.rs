@@ -1,0 +1,205 @@
+//! Step 2: conflict-aware register-bank assignment (paper Fig. 7
+//! "Step 3: PE and Register Mapping").
+//!
+//! "Operands are allocated to banks to avoid simultaneous conflicts [...]
+//! This conflict-aware strategy minimizes bank contention and balances
+//! data traffic across banks." Every *value* (kernel input, constant, or
+//! block result) gets a home bank; the cost of placing value `v` in bank
+//! `k` counts, over all blocks that read `v`, the co-operands already
+//! assigned to `k` — dual-ported banks serve two reads per cycle, so each
+//! additional co-resident operand risks a stall cycle.
+
+use std::collections::HashMap;
+
+use reason_core::{Dag, DagOp, NodeId};
+
+use crate::blocks::BlockDecomposition;
+
+/// The value→bank map produced by [`assign_banks`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BankAssignment {
+    bank_of: HashMap<NodeId, usize>,
+    num_banks: usize,
+}
+
+impl BankAssignment {
+    /// The bank assigned to a value node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not a value node (input/const/block root).
+    pub fn bank_of(&self, value: NodeId) -> usize {
+        *self.bank_of.get(&value).unwrap_or_else(|| panic!("{value} has no bank assignment"))
+    }
+
+    /// Number of banks targeted.
+    pub fn num_banks(&self) -> usize {
+        self.num_banks
+    }
+
+    /// Histogram of values per bank (load-balance diagnostics).
+    pub fn load_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.num_banks];
+        for &b in self.bank_of.values() {
+            h[b] += 1;
+        }
+        h
+    }
+}
+
+/// Assigns every value node a register bank.
+///
+/// `conflict_aware == false` falls back to round-robin placement (the
+/// paper's bank-mapping ablation).
+pub fn assign_banks(
+    dag: &Dag,
+    decomposition: &BlockDecomposition,
+    order: &[usize],
+    num_banks: usize,
+    conflict_aware: bool,
+) -> BankAssignment {
+    // Values: inputs and constants (in node order), then block roots (in
+    // schedule order).
+    let mut values: Vec<NodeId> = Vec::new();
+    for (i, node) in dag.nodes().iter().enumerate() {
+        if matches!(node.op, DagOp::Input(_) | DagOp::Const(_)) {
+            values.push(NodeId::from_index(i));
+        }
+    }
+    for &bi in order {
+        values.push(decomposition.blocks[bi].root);
+    }
+
+    // Reader groups: for each block, its operand list (co-read set).
+    let readers_of: HashMap<NodeId, Vec<usize>> = {
+        let mut m: HashMap<NodeId, Vec<usize>> = HashMap::new();
+        for (bi, block) in decomposition.blocks.iter().enumerate() {
+            for op in &block.operands {
+                m.entry(*op).or_default().push(bi);
+            }
+        }
+        m
+    };
+
+    let mut bank_of: HashMap<NodeId, usize> = HashMap::new();
+    let mut load = vec![0usize; num_banks];
+    for (vi, &v) in values.iter().enumerate() {
+        let bank = if conflict_aware {
+            let mut best = 0usize;
+            let mut best_cost = usize::MAX;
+            for k in 0..num_banks {
+                // Conflict cost: co-operands already placed in bank k
+                // across every block that reads v.
+                let mut cost = 0usize;
+                if let Some(blocks) = readers_of.get(&v) {
+                    for &bi in blocks {
+                        for op in &decomposition.blocks[bi].operands {
+                            if *op != v && bank_of.get(op) == Some(&k) {
+                                cost += 1;
+                            }
+                        }
+                    }
+                }
+                // Weight conflicts heavily; break ties by load balance.
+                let key = cost * 4096 + load[k];
+                if key < best_cost {
+                    best_cost = key;
+                    best = k;
+                }
+            }
+            best
+        } else {
+            vi % num_banks
+        };
+        bank_of.insert(v, bank);
+        load[bank] += 1;
+    }
+
+    BankAssignment { bank_of, num_banks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::decompose_blocks;
+    use crate::schedule::schedule_blocks;
+    use reason_core::{dag_from_cnf, regularize, DagBuilder, NodeKind};
+    use reason_sat::gen::random_ksat;
+
+    #[test]
+    fn co_read_operands_spread_across_banks() {
+        // One block reading four values: conflict-aware placement puts
+        // them in four distinct banks.
+        let mut b = DagBuilder::new();
+        let xs: Vec<_> = (0..4).map(|i| b.input(i)).collect();
+        let l = b.node(reason_core::DagOp::Add, vec![xs[0], xs[1]], NodeKind::Generic);
+        let r = b.node(reason_core::DagOp::Add, vec![xs[2], xs[3]], NodeKind::Generic);
+        let root = b.node(reason_core::DagOp::Mul, vec![l, r], NodeKind::Generic);
+        let dag = b.build(root).unwrap();
+        let d = decompose_blocks(&dag, 3);
+        let order = schedule_blocks(&dag, &d, true);
+        let assignment = assign_banks(&dag, &d, &order, 8, true);
+        let banks: std::collections::HashSet<usize> =
+            xs.iter().map(|&x| assignment.bank_of(x)).collect();
+        assert_eq!(banks.len(), 4, "four co-read operands in four banks");
+    }
+
+    #[test]
+    fn round_robin_is_deterministic() {
+        let cnf = random_ksat(8, 24, 3, 1);
+        let (dag, _) = dag_from_cnf(&cnf);
+        let dag = regularize(&dag);
+        let d = decompose_blocks(&dag, 3);
+        let order = schedule_blocks(&dag, &d, true);
+        let a = assign_banks(&dag, &d, &order, 16, false);
+        let b = assign_banks(&dag, &d, &order, 16, false);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_values_are_assigned() {
+        let cnf = random_ksat(10, 35, 3, 2);
+        let (dag, _) = dag_from_cnf(&cnf);
+        let dag = regularize(&dag);
+        let d = decompose_blocks(&dag, 3);
+        let order = schedule_blocks(&dag, &d, true);
+        let assignment = assign_banks(&dag, &d, &order, 16, true);
+        for block in &d.blocks {
+            let _ = assignment.bank_of(block.root);
+            for op in &block.operands {
+                let _ = assignment.bank_of(*op);
+            }
+        }
+        let total: usize = assignment.load_histogram().iter().sum();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn conflict_aware_beats_round_robin_on_conflict_count() {
+        let cnf = random_ksat(12, 45, 3, 7);
+        let (dag, _) = dag_from_cnf(&cnf);
+        let dag = regularize(&dag);
+        let d = decompose_blocks(&dag, 3);
+        let order = schedule_blocks(&dag, &d, true);
+        let aware = assign_banks(&dag, &d, &order, 8, true);
+        let naive = assign_banks(&dag, &d, &order, 8, false);
+        let conflicts = |a: &BankAssignment| -> usize {
+            d.blocks
+                .iter()
+                .map(|blk| {
+                    let mut per_bank = vec![0usize; 8];
+                    for op in &blk.operands {
+                        per_bank[a.bank_of(*op)] += 1;
+                    }
+                    per_bank.iter().map(|&n| n.saturating_sub(2)).sum::<usize>()
+                })
+                .sum()
+        };
+        assert!(
+            conflicts(&aware) <= conflicts(&naive),
+            "aware {} vs naive {}",
+            conflicts(&aware),
+            conflicts(&naive)
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! Kernel frontends: lower each reasoning substrate into the unified DAG
+//! (paper Fig. 5).
+//!
+//! | Kernel | DAG nodes | DAG edges | Inference as DAG execution |
+//! |---|---|---|---|
+//! | SAT/FOL | literals and logical operators | literal → clause → formula dependencies | satisfiability evaluation / search traversal |
+//! | PC | primitive distributions, sum and product nodes | weighted probabilistic factorization | bottom-up probability aggregation |
+//! | HMM | per-step transition and emission factors | Markov dependencies across steps | sequential message passing |
+
+pub mod hmm;
+pub mod pc;
+pub mod sat;

@@ -1,0 +1,421 @@
+//! A small parser for first-order formulas.
+//!
+//! Grammar (lowest to highest precedence):
+//!
+//! ```text
+//! formula  := iff
+//! iff      := implies ( "<->" implies )*
+//! implies  := or ( "->" implies )?           (right associative)
+//! or       := and ( "|" and )*
+//! and      := unary ( "&" unary )*
+//! unary    := "~" unary | "forall" VAR "." unary | "exists" VAR "." unary | primary
+//! primary  := "(" formula ")" | atom
+//! atom     := pred ( "(" term ("," term)* ")" )?
+//! term     := VAR | name ( "(" term ("," term)* ")" )?
+//! ```
+//!
+//! Identifiers starting with an uppercase letter are variables; lowercase
+//! identifiers are predicates, functions, and constants.
+
+use std::fmt;
+
+use crate::formula::Formula;
+use crate::term::{Atom, Term};
+
+/// Errors produced by [`parse_formula`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the input.
+    pub position: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a formula from text.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input.
+///
+/// ```
+/// use reason_fol::parse_formula;
+/// let f = parse_formula("forall X. (student(X) -> exists Y. (mentor(Y) & has_mentor(X, Y)))").unwrap();
+/// assert_eq!(f.free_vars().len(), 0);
+/// ```
+pub fn parse_formula(text: &str) -> Result<Formula, ParseError> {
+    let mut p = Parser { tokens: tokenize(text)?, pos: 0 };
+    let f = p.formula()?;
+    match p.peek() {
+        None => Ok(f),
+        Some(t) => Err(ParseError {
+            message: format!("unexpected trailing token {:?}", t.kind),
+            position: t.position,
+        }),
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TokenKind {
+    Ident(String),
+    Variable(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Not,
+    And,
+    Or,
+    Implies,
+    Iff,
+    Forall,
+    Exists,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Token {
+    kind: TokenKind,
+    position: usize,
+}
+
+fn tokenize(text: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push(Token { kind: TokenKind::LParen, position: start });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token { kind: TokenKind::RParen, position: start });
+                i += 1;
+            }
+            ',' => {
+                out.push(Token { kind: TokenKind::Comma, position: start });
+                i += 1;
+            }
+            '.' => {
+                out.push(Token { kind: TokenKind::Dot, position: start });
+                i += 1;
+            }
+            '~' | '!' => {
+                out.push(Token { kind: TokenKind::Not, position: start });
+                i += 1;
+            }
+            '&' => {
+                out.push(Token { kind: TokenKind::And, position: start });
+                i += 1;
+            }
+            '|' => {
+                out.push(Token { kind: TokenKind::Or, position: start });
+                i += 1;
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token { kind: TokenKind::Implies, position: start });
+                    i += 2;
+                } else {
+                    return Err(ParseError { message: "expected ->".into(), position: start });
+                }
+            }
+            '<' => {
+                if text[i..].starts_with("<->") {
+                    out.push(Token { kind: TokenKind::Iff, position: start });
+                    i += 3;
+                } else {
+                    return Err(ParseError { message: "expected <->".into(), position: start });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let word = &text[i..j];
+                let kind = match word {
+                    "forall" => TokenKind::Forall,
+                    "exists" => TokenKind::Exists,
+                    _ if word.starts_with(|c: char| c.is_ascii_uppercase()) => {
+                        TokenKind::Variable(word.to_string())
+                    }
+                    _ => TokenKind::Ident(word.to_string()),
+                };
+                out.push(Token { kind, position: start });
+                i = j;
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unexpected character {other:?}"),
+                    position: start,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if &t.kind == kind => Ok(()),
+            Some(t) => Err(ParseError {
+                message: format!("expected {kind:?}, found {:?}", t.kind),
+                position: t.position,
+            }),
+            None => Err(ParseError {
+                message: format!("expected {kind:?}, found end of input"),
+                position: usize::MAX,
+            }),
+        }
+    }
+
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        let mut f = self.implies()?;
+        while matches!(self.peek().map(|t| &t.kind), Some(TokenKind::Iff)) {
+            self.next();
+            let rhs = self.implies()?;
+            f = Formula::iff(f, rhs);
+        }
+        Ok(f)
+    }
+
+    fn implies(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.or()?;
+        if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::Implies)) {
+            self.next();
+            let rhs = self.implies()?; // right associative
+            Ok(Formula::implies(lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn or(&mut self) -> Result<Formula, ParseError> {
+        let mut f = self.and()?;
+        while matches!(self.peek().map(|t| &t.kind), Some(TokenKind::Or)) {
+            self.next();
+            let rhs = self.and()?;
+            f = Formula::or(f, rhs);
+        }
+        Ok(f)
+    }
+
+    fn and(&mut self) -> Result<Formula, ParseError> {
+        let mut f = self.unary()?;
+        while matches!(self.peek().map(|t| &t.kind), Some(TokenKind::And)) {
+            self.next();
+            let rhs = self.unary()?;
+            f = Formula::and(f, rhs);
+        }
+        Ok(f)
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        match self.peek().map(|t| t.kind.clone()) {
+            Some(TokenKind::Not) => {
+                self.next();
+                Ok(Formula::not(self.unary()?))
+            }
+            Some(TokenKind::Forall) | Some(TokenKind::Exists) => {
+                let quant = self.next().expect("peeked");
+                let var = match self.next() {
+                    Some(Token { kind: TokenKind::Variable(v), .. }) => v,
+                    Some(t) => {
+                        return Err(ParseError {
+                            message: "expected a variable after quantifier".into(),
+                            position: t.position,
+                        })
+                    }
+                    None => {
+                        return Err(ParseError {
+                            message: "expected a variable after quantifier".into(),
+                            position: usize::MAX,
+                        })
+                    }
+                };
+                self.expect(&TokenKind::Dot)?;
+                let body = self.unary()?;
+                Ok(match quant.kind {
+                    TokenKind::Forall => Formula::forall(var, body),
+                    _ => Formula::exists(var, body),
+                })
+            }
+            Some(TokenKind::LParen) => {
+                self.next();
+                let f = self.formula()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(f)
+            }
+            Some(TokenKind::Ident(_)) => self.atom(),
+            other => Err(ParseError {
+                message: format!("unexpected token {other:?}"),
+                position: self.peek().map_or(usize::MAX, |t| t.position),
+            }),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Formula, ParseError> {
+        let name = match self.next() {
+            Some(Token { kind: TokenKind::Ident(n), .. }) => n,
+            Some(t) => {
+                return Err(ParseError {
+                    message: "expected a predicate name".into(),
+                    position: t.position,
+                })
+            }
+            None => {
+                return Err(ParseError {
+                    message: "expected a predicate name".into(),
+                    position: usize::MAX,
+                })
+            }
+        };
+        let mut args = Vec::new();
+        if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::LParen)) {
+            self.next();
+            loop {
+                args.push(self.term()?);
+                match self.next() {
+                    Some(Token { kind: TokenKind::Comma, .. }) => continue,
+                    Some(Token { kind: TokenKind::RParen, .. }) => break,
+                    Some(t) => {
+                        return Err(ParseError {
+                            message: "expected , or )".into(),
+                            position: t.position,
+                        })
+                    }
+                    None => {
+                        return Err(ParseError {
+                            message: "unterminated argument list".into(),
+                            position: usize::MAX,
+                        })
+                    }
+                }
+            }
+        }
+        Ok(Formula::Atom(Atom::new(name, args)))
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        match self.next() {
+            Some(Token { kind: TokenKind::Variable(v), .. }) => Ok(Term::var(v)),
+            Some(Token { kind: TokenKind::Ident(name), .. }) => {
+                if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::LParen)) {
+                    self.next();
+                    let mut args = Vec::new();
+                    loop {
+                        args.push(self.term()?);
+                        match self.next() {
+                            Some(Token { kind: TokenKind::Comma, .. }) => continue,
+                            Some(Token { kind: TokenKind::RParen, .. }) => break,
+                            Some(t) => {
+                                return Err(ParseError {
+                                    message: "expected , or )".into(),
+                                    position: t.position,
+                                })
+                            }
+                            None => {
+                                return Err(ParseError {
+                                    message: "unterminated argument list".into(),
+                                    position: usize::MAX,
+                                })
+                            }
+                        }
+                    }
+                    Ok(Term::app(name, args))
+                } else {
+                    Ok(Term::constant(name))
+                }
+            }
+            Some(t) => {
+                Err(ParseError { message: "expected a term".into(), position: t.position })
+            }
+            None => Err(ParseError { message: "expected a term".into(), position: usize::MAX }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_example() {
+        // "Every student has a mentor" (paper Sec. II-C).
+        let f = parse_formula(
+            "forall X. (student(X) -> exists Y. (mentor(Y) & has_mentor(X, Y)))",
+        )
+        .unwrap();
+        assert!(f.free_vars().is_empty());
+        assert_eq!(format!("{f}"), "forall X. (student(X) -> exists Y. (mentor(Y) & has_mentor(X, Y)))");
+    }
+
+    #[test]
+    fn precedence_and_associativity() {
+        let f = parse_formula("a & b | c").unwrap();
+        assert_eq!(format!("{f}"), "((a & b) | c)");
+        let f = parse_formula("a -> b -> c").unwrap();
+        assert_eq!(format!("{f}"), "(a -> (b -> c))");
+        let f = parse_formula("~a & b").unwrap();
+        assert_eq!(format!("{f}"), "(~a & b)");
+    }
+
+    #[test]
+    fn parses_terms_with_functions() {
+        let f = parse_formula("p(f(X, a), g(b))").unwrap();
+        match f {
+            Formula::Atom(atom) => {
+                assert_eq!(atom.args.len(), 2);
+                assert_eq!(format!("{}", atom.args[0]), "f(X, a)");
+            }
+            other => panic!("expected atom, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_formula("").is_err());
+        assert!(parse_formula("p(").is_err());
+        assert!(parse_formula("forall x. p(x)").is_err()); // lowercase quantified var
+        assert!(parse_formula("p) (").is_err());
+        assert!(parse_formula("a -").is_err());
+        assert!(parse_formula("a b").is_err());
+    }
+
+    #[test]
+    fn iff_parses() {
+        let f = parse_formula("a <-> b").unwrap();
+        assert_eq!(format!("{f}"), "(a <-> b)");
+    }
+}

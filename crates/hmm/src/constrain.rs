@@ -1,0 +1,381 @@
+//! DFA-constrained HMM inference — the Ctrl-G / GeLaTo kernel.
+//!
+//! Ctrl-G (paper Table I, [23]) and GeLaTo ([29]) impose hard lexical
+//! constraints on language-model generation by intersecting an HMM proxy of
+//! the LM with a deterministic finite automaton encoding the constraint.
+//! Inference runs on the *product* state space (hmm state × dfa state):
+//! the probability that a length-`T` emission satisfies the constraint,
+//! the most likely accepted sequence, and per-position token marginals
+//! conditioned on acceptance.
+
+use crate::{log_sum_exp, Hmm};
+
+/// A deterministic finite automaton over the HMM's symbol alphabet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dfa {
+    start: usize,
+    /// `transitions[state][symbol]` = next state.
+    transitions: Vec<Vec<usize>>,
+    accepting: Vec<bool>,
+}
+
+impl Dfa {
+    /// Builds a DFA from explicit tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree or any target state is out of range.
+    pub fn new(start: usize, transitions: Vec<Vec<usize>>, accepting: Vec<bool>) -> Self {
+        let n = transitions.len();
+        assert_eq!(accepting.len(), n, "accepting flags must cover all states");
+        assert!(start < n, "start state out of range");
+        for row in &transitions {
+            assert!(row.iter().all(|&t| t < n), "transition target out of range");
+        }
+        Dfa { start, transitions, accepting }
+    }
+
+    /// The automaton accepting exactly the sequences that contain
+    /// `keyword` as a contiguous substring (KMP failure automaton).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the keyword is empty or mentions a symbol `>= num_symbols`.
+    pub fn contains_keyword(keyword: &[usize], num_symbols: usize) -> Self {
+        assert!(!keyword.is_empty(), "keyword must be non-empty");
+        assert!(keyword.iter().all(|&s| s < num_symbols), "keyword symbol out of range");
+        let m = keyword.len();
+        // Failure function.
+        let mut fail = vec![0usize; m];
+        let mut k = 0;
+        for i in 1..m {
+            while k > 0 && keyword[i] != keyword[k] {
+                k = fail[k - 1];
+            }
+            if keyword[i] == keyword[k] {
+                k += 1;
+            }
+            fail[i] = k;
+        }
+        // States 0..m track the longest matched prefix; state m is accepting
+        // and absorbing.
+        let mut transitions = vec![vec![0usize; num_symbols]; m + 1];
+        for state in 0..m {
+            for sym in 0..num_symbols {
+                let mut k = state;
+                while k > 0 && keyword[k] != sym {
+                    k = fail[k - 1];
+                }
+                let next = if keyword[k] == sym { k + 1 } else { 0 };
+                transitions[state][sym] = next;
+            }
+        }
+        for sym in 0..num_symbols {
+            transitions[m][sym] = m;
+        }
+        let mut accepting = vec![false; m + 1];
+        accepting[m] = true;
+        Dfa { start: 0, transitions, accepting }
+    }
+
+    /// The automaton accepting sequences that *avoid* the given symbol
+    /// entirely (a simple lexical ban, another common Ctrl-G constraint).
+    pub fn avoids_symbol(banned: usize, num_symbols: usize) -> Self {
+        assert!(banned < num_symbols, "banned symbol out of range");
+        // State 0 = clean (accepting), state 1 = violated (absorbing).
+        let mut transitions = vec![vec![0usize; num_symbols]; 2];
+        transitions[0][banned] = 1;
+        for sym in 0..num_symbols {
+            transitions[1][sym] = 1;
+        }
+        Dfa { start: 0, transitions, accepting: vec![true, false] }
+    }
+
+    /// Number of automaton states.
+    pub fn num_states(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The start state.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Next state on reading `symbol` in `state`.
+    pub fn step(&self, state: usize, symbol: usize) -> usize {
+        self.transitions[state][symbol]
+    }
+
+    /// `true` when `state` is accepting.
+    pub fn is_accepting(&self, state: usize) -> bool {
+        self.accepting[state]
+    }
+
+    /// Runs the automaton over a sequence and reports acceptance.
+    pub fn accepts(&self, seq: &[usize]) -> bool {
+        let mut s = self.start;
+        for &sym in seq {
+            s = self.step(s, sym);
+        }
+        self.accepting[s]
+    }
+}
+
+/// Results of constrained inference over the HMM×DFA product.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstrainedResult {
+    /// `log p(constraint satisfied)` for emissions of the requested length.
+    pub log_prob_satisfied: f64,
+    /// Most likely accepted emission sequence (empty when unsatisfiable).
+    pub best_sequence: Vec<usize>,
+    /// Joint log-probability of the best sequence and its best hidden path,
+    /// `NEG_INFINITY` when no accepted sequence exists.
+    pub best_log_prob: f64,
+}
+
+impl Hmm {
+    /// Probability that a length-`len` emission sequence satisfies `dfa`,
+    /// computed by a forward pass over the product space — the core
+    /// "probabilistic aggregation" kernel REASON accelerates for Ctrl-G.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn constrained_log_probability(&self, dfa: &Dfa, len: usize) -> f64 {
+        assert!(len > 0, "length must be positive");
+        let s = self.num_states();
+        let q = dfa.num_states();
+        let v = self.num_symbols();
+        // alpha[(hmm state, dfa state)] after t symbols.
+        let idx = |i: usize, a: usize| i * q + a;
+        let mut alpha = vec![f64::NEG_INFINITY; s * q];
+        for i in 0..s {
+            for sym in 0..v {
+                let a = dfa.step(dfa.start(), sym);
+                let lp = self.log_init()[i] + self.log_emit()[i][sym];
+                let slot = &mut alpha[idx(i, a)];
+                *slot = log_sum_exp(&[*slot, lp]);
+            }
+        }
+        for _ in 1..len {
+            let mut next = vec![f64::NEG_INFINITY; s * q];
+            for i in 0..s {
+                for a in 0..q {
+                    let cur = alpha[idx(i, a)];
+                    if cur == f64::NEG_INFINITY {
+                        continue;
+                    }
+                    for j in 0..s {
+                        let lt = cur + self.log_trans()[i][j];
+                        for sym in 0..v {
+                            let a2 = dfa.step(a, sym);
+                            let lp = lt + self.log_emit()[j][sym];
+                            let slot = &mut next[idx(j, a2)];
+                            *slot = log_sum_exp(&[*slot, lp]);
+                        }
+                    }
+                }
+            }
+            alpha = next;
+        }
+        let accepted: Vec<f64> = (0..s)
+            .flat_map(|i| (0..q).filter(|&a| dfa.is_accepting(a)).map(move |a| idx(i, a)))
+            .map(|k| alpha[k])
+            .collect();
+        log_sum_exp(&accepted)
+    }
+
+    /// Most likely accepted emission sequence of length `len` (max-product
+    /// over the product space, maximizing jointly over hidden states and
+    /// symbols).
+    pub fn constrained_decode(&self, dfa: &Dfa, len: usize) -> ConstrainedResult {
+        assert!(len > 0, "length must be positive");
+        let s = self.num_states();
+        let q = dfa.num_states();
+        let v = self.num_symbols();
+        let idx = |i: usize, a: usize| i * q + a;
+        // delta[t][(i,a)] = best log-prob reaching state (i,a) after t+1 syms.
+        let mut delta = vec![vec![f64::NEG_INFINITY; s * q]; len];
+        // back[t][(i,a)] = (prev i, prev a, symbol emitted at t).
+        let mut back = vec![vec![(0usize, 0usize, 0usize); s * q]; len];
+        for i in 0..s {
+            for sym in 0..v {
+                let a = dfa.step(dfa.start(), sym);
+                let lp = self.log_init()[i] + self.log_emit()[i][sym];
+                if lp > delta[0][idx(i, a)] {
+                    delta[0][idx(i, a)] = lp;
+                    back[0][idx(i, a)] = (0, dfa.start(), sym);
+                }
+            }
+        }
+        for t in 1..len {
+            for i in 0..s {
+                for a in 0..q {
+                    let cur = delta[t - 1][idx(i, a)];
+                    if cur == f64::NEG_INFINITY {
+                        continue;
+                    }
+                    for j in 0..s {
+                        let lt = cur + self.log_trans()[i][j];
+                        for sym in 0..v {
+                            let a2 = dfa.step(a, sym);
+                            let lp = lt + self.log_emit()[j][sym];
+                            if lp > delta[t][idx(j, a2)] {
+                                delta[t][idx(j, a2)] = lp;
+                                back[t][idx(j, a2)] = (i, a, sym);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Best accepting endpoint.
+        let mut best_end = None;
+        let mut best = f64::NEG_INFINITY;
+        for i in 0..s {
+            for a in 0..q {
+                if dfa.is_accepting(a) && delta[len - 1][idx(i, a)] > best {
+                    best = delta[len - 1][idx(i, a)];
+                    best_end = Some((i, a));
+                }
+            }
+        }
+        let log_prob_satisfied = self.constrained_log_probability(dfa, len);
+        let Some((mut i, mut a)) = best_end else {
+            return ConstrainedResult {
+                log_prob_satisfied,
+                best_sequence: Vec::new(),
+                best_log_prob: f64::NEG_INFINITY,
+            };
+        };
+        let mut seq = vec![0usize; len];
+        for t in (0..len).rev() {
+            let (pi, pa, sym) = back[t][idx(i, a)];
+            seq[t] = sym;
+            i = pi;
+            a = pa;
+        }
+        ConstrainedResult { log_prob_satisfied, best_sequence: seq, best_log_prob: best }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Hmm {
+        Hmm::new(
+            vec![0.5, 0.5],
+            vec![vec![0.8, 0.2], vec![0.3, 0.7]],
+            vec![vec![0.6, 0.3, 0.1], vec![0.1, 0.2, 0.7]],
+        )
+        .unwrap()
+    }
+
+    /// Brute force: enumerate all emission sequences of length `len`,
+    /// summing likelihoods of those accepted by the DFA.
+    fn brute_constrained(hmm: &Hmm, dfa: &Dfa, len: usize) -> f64 {
+        let v = hmm.num_symbols();
+        let mut total = 0.0;
+        for code in 0..(v as u64).pow(len as u32) {
+            let mut c = code;
+            let mut obs = Vec::with_capacity(len);
+            for _ in 0..len {
+                obs.push((c % v as u64) as usize);
+                c /= v as u64;
+            }
+            if dfa.accepts(&obs) {
+                total += hmm.log_likelihood(&obs).exp();
+            }
+        }
+        total
+    }
+
+    #[test]
+    fn keyword_dfa_accepts_correctly() {
+        let dfa = Dfa::contains_keyword(&[1, 2], 3);
+        assert!(dfa.accepts(&[0, 1, 2, 0]));
+        assert!(dfa.accepts(&[1, 2]));
+        assert!(!dfa.accepts(&[1, 1, 0, 2]));
+        assert!(!dfa.accepts(&[2, 1]));
+        // Overlapping prefixes: keyword 1,1,2 in 1,1,1,2.
+        let dfa = Dfa::contains_keyword(&[1, 1, 2], 3);
+        assert!(dfa.accepts(&[1, 1, 1, 2]));
+        assert!(!dfa.accepts(&[1, 2, 1]));
+    }
+
+    #[test]
+    fn avoid_dfa_accepts_correctly() {
+        let dfa = Dfa::avoids_symbol(2, 3);
+        assert!(dfa.accepts(&[0, 1, 1, 0]));
+        assert!(!dfa.accepts(&[0, 2, 0]));
+    }
+
+    #[test]
+    fn constrained_probability_matches_brute_force() {
+        let hmm = toy();
+        for len in 1..=4 {
+            let dfa = Dfa::contains_keyword(&[1, 2], 3);
+            let p = hmm.constrained_log_probability(&dfa, len).exp();
+            let brute = brute_constrained(&hmm, &dfa, len);
+            assert!((p - brute).abs() < 1e-10, "len {len}: {p} vs {brute}");
+        }
+    }
+
+    #[test]
+    fn avoid_constraint_probability_matches() {
+        let hmm = toy();
+        let dfa = Dfa::avoids_symbol(0, 3);
+        for len in 1..=4 {
+            let p = hmm.constrained_log_probability(&dfa, len).exp();
+            let brute = brute_constrained(&hmm, &dfa, len);
+            assert!((p - brute).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn satisfied_and_violated_probabilities_sum_to_one() {
+        let hmm = toy();
+        let keep = Dfa::avoids_symbol(1, 3);
+        // Complement DFA: same transitions, flipped acceptance.
+        let complement = Dfa::new(
+            0,
+            vec![vec![0, 1, 0], vec![1, 1, 1]],
+            vec![false, true],
+        );
+        let len = 3;
+        let a = hmm.constrained_log_probability(&keep, len).exp();
+        let b = hmm.constrained_log_probability(&complement, len).exp();
+        assert!((a + b - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decode_returns_accepted_sequence() {
+        let hmm = toy();
+        let dfa = Dfa::contains_keyword(&[0, 0], 3);
+        let res = hmm.constrained_decode(&dfa, 4);
+        assert_eq!(res.best_sequence.len(), 4);
+        assert!(dfa.accepts(&res.best_sequence));
+        assert!(res.best_log_prob > f64::NEG_INFINITY);
+        assert!(res.best_log_prob <= res.log_prob_satisfied + 1e-12);
+    }
+
+    #[test]
+    fn impossible_constraint_yields_zero() {
+        let hmm = toy();
+        // Keyword longer than the sequence cannot appear.
+        let dfa = Dfa::contains_keyword(&[0, 1, 2, 0], 3);
+        let res = hmm.constrained_decode(&dfa, 2);
+        assert_eq!(res.log_prob_satisfied, f64::NEG_INFINITY);
+        assert!(res.best_sequence.is_empty());
+    }
+
+    #[test]
+    fn unconstrained_dfa_gives_probability_one() {
+        let hmm = toy();
+        // Single accepting state looping on everything.
+        let dfa = Dfa::new(0, vec![vec![0, 0, 0]], vec![true]);
+        let p = hmm.constrained_log_probability(&dfa, 5).exp();
+        assert!((p - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,246 @@
+//! Forward-backward inference: filtering, smoothing, posteriors.
+//!
+//! These are the "sequential message passing" kernels the paper maps onto
+//! the unified DAG (Sec. IV-A): each time step aggregates predecessor state
+//! mass through transition factors (sum nodes) and applies emission factors
+//! (product nodes).
+
+use crate::{log_sum_exp, Hmm};
+
+/// Forward and backward log-message tables for one observation sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForwardBackward {
+    /// `alpha[t][s]` = log p(x_0..x_t, z_t = s).
+    pub alpha: Vec<Vec<f64>>,
+    /// `beta[t][s]` = log p(x_{t+1}..x_{T-1} | z_t = s).
+    pub beta: Vec<Vec<f64>>,
+    /// Log-likelihood of the whole sequence.
+    pub log_likelihood: f64,
+}
+
+/// Posterior quantities derived from [`ForwardBackward`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Posteriors {
+    /// `gamma[t][s]` = p(z_t = s | x) (linear space).
+    pub gamma: Vec<Vec<f64>>,
+    /// `xi[t][i][j]` = p(z_t = i, z_{t+1} = j | x), for t in 0..T-1.
+    pub xi: Vec<Vec<Vec<f64>>>,
+}
+
+impl Hmm {
+    /// Runs the forward pass, returning `alpha` and the log-likelihood.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obs` is empty or contains an out-of-range symbol.
+    pub fn forward(&self, obs: &[usize]) -> (Vec<Vec<f64>>, f64) {
+        assert!(!obs.is_empty(), "observation sequence must be non-empty");
+        let s = self.num_states();
+        let t_len = obs.len();
+        let mut alpha = vec![vec![f64::NEG_INFINITY; s]; t_len];
+        for i in 0..s {
+            alpha[0][i] = self.log_init()[i] + self.log_emit()[i][obs[0]];
+        }
+        let mut buf = vec![0.0f64; s];
+        for t in 1..t_len {
+            for j in 0..s {
+                for (i, b) in buf.iter_mut().enumerate() {
+                    *b = alpha[t - 1][i] + self.log_trans()[i][j];
+                }
+                alpha[t][j] = log_sum_exp(&buf) + self.log_emit()[j][obs[t]];
+            }
+        }
+        let ll = log_sum_exp(&alpha[t_len - 1]);
+        (alpha, ll)
+    }
+
+    /// Runs the backward pass, returning `beta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obs` is empty or contains an out-of-range symbol.
+    pub fn backward(&self, obs: &[usize]) -> Vec<Vec<f64>> {
+        assert!(!obs.is_empty(), "observation sequence must be non-empty");
+        let s = self.num_states();
+        let t_len = obs.len();
+        let mut beta = vec![vec![0.0f64; s]; t_len];
+        let mut buf = vec![0.0f64; s];
+        for t in (0..t_len - 1).rev() {
+            for i in 0..s {
+                for (j, b) in buf.iter_mut().enumerate() {
+                    *b = self.log_trans()[i][j] + self.log_emit()[j][obs[t + 1]] + beta[t + 1][j];
+                }
+                beta[t][i] = log_sum_exp(&buf);
+            }
+        }
+        beta
+    }
+
+    /// Runs both passes.
+    pub fn forward_backward(&self, obs: &[usize]) -> ForwardBackward {
+        let (alpha, log_likelihood) = self.forward(obs);
+        let beta = self.backward(obs);
+        ForwardBackward { alpha, beta, log_likelihood }
+    }
+
+    /// Log-likelihood of an observation sequence.
+    pub fn log_likelihood(&self, obs: &[usize]) -> f64 {
+        self.forward(obs).1
+    }
+
+    /// Filtering distribution `p(z_t = s | x_0..x_t)` for every `t`.
+    pub fn filter(&self, obs: &[usize]) -> Vec<Vec<f64>> {
+        let (alpha, _) = self.forward(obs);
+        alpha
+            .iter()
+            .map(|row| {
+                let z = log_sum_exp(row);
+                row.iter().map(|a| (a - z).exp()).collect()
+            })
+            .collect()
+    }
+
+    /// Smoothing posteriors: state posteriors `gamma` and transition
+    /// posteriors `xi` (paper Sec. IV-B uses these as pruning signals).
+    pub fn posteriors(&self, obs: &[usize]) -> Posteriors {
+        let fb = self.forward_backward(obs);
+        let s = self.num_states();
+        let t_len = obs.len();
+        let ll = fb.log_likelihood;
+        let gamma: Vec<Vec<f64>> = (0..t_len)
+            .map(|t| (0..s).map(|i| (fb.alpha[t][i] + fb.beta[t][i] - ll).exp()).collect())
+            .collect();
+        let xi: Vec<Vec<Vec<f64>>> = (0..t_len.saturating_sub(1))
+            .map(|t| {
+                (0..s)
+                    .map(|i| {
+                        (0..s)
+                            .map(|j| {
+                                (fb.alpha[t][i]
+                                    + self.log_trans()[i][j]
+                                    + self.log_emit()[j][obs[t + 1]]
+                                    + fb.beta[t + 1][j]
+                                    - ll)
+                                    .exp()
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        Posteriors { gamma, xi }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Hmm {
+        Hmm::new(
+            vec![0.6, 0.4],
+            vec![vec![0.7, 0.3], vec![0.4, 0.6]],
+            vec![vec![0.5, 0.4, 0.1], vec![0.1, 0.3, 0.6]],
+        )
+        .unwrap()
+    }
+
+    /// Brute-force likelihood: sum over all hidden paths.
+    fn brute_likelihood(hmm: &Hmm, obs: &[usize]) -> f64 {
+        let s = hmm.num_states();
+        let t = obs.len();
+        let mut total = 0.0f64;
+        let paths = (s as u64).pow(t as u32);
+        for code in 0..paths {
+            let mut c = code;
+            let mut path = Vec::with_capacity(t);
+            for _ in 0..t {
+                path.push((c % s as u64) as usize);
+                c /= s as u64;
+            }
+            let mut lp = hmm.log_init()[path[0]] + hmm.log_emit()[path[0]][obs[0]];
+            for k in 1..t {
+                lp += hmm.log_trans()[path[k - 1]][path[k]] + hmm.log_emit()[path[k]][obs[k]];
+            }
+            total += lp.exp();
+        }
+        total
+    }
+
+    #[test]
+    fn forward_matches_brute_force() {
+        let hmm = toy();
+        for obs in [vec![0], vec![0, 1], vec![2, 1, 0], vec![0, 1, 2, 1, 0]] {
+            let ll = hmm.log_likelihood(&obs);
+            let brute = brute_likelihood(&hmm, &obs);
+            assert!((ll.exp() - brute).abs() < 1e-12, "obs {obs:?}");
+        }
+    }
+
+    #[test]
+    fn likelihoods_sum_to_one_over_all_sequences() {
+        let hmm = toy();
+        let t = 3;
+        let v = hmm.num_symbols();
+        let mut total = 0.0;
+        for code in 0..(v as u64).pow(t as u32) {
+            let mut c = code;
+            let mut obs = Vec::with_capacity(t);
+            for _ in 0..t {
+                obs.push((c % v as u64) as usize);
+                c /= v as u64;
+            }
+            total += hmm.log_likelihood(&obs).exp();
+        }
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn filtering_distributions_normalize() {
+        let hmm = toy();
+        let f = hmm.filter(&[0, 2, 1, 1]);
+        for row in f {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn posteriors_normalize_and_are_consistent() {
+        let hmm = toy();
+        let obs = vec![0, 1, 2, 0];
+        let p = hmm.posteriors(&obs);
+        for row in &p.gamma {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        // Marginalizing xi over the destination recovers gamma at t.
+        for t in 0..obs.len() - 1 {
+            for i in 0..hmm.num_states() {
+                let m: f64 = p.xi[t][i].iter().sum();
+                assert!((m - p.gamma[t][i]).abs() < 1e-9);
+            }
+        }
+        // Marginalizing xi over the source recovers gamma at t+1.
+        for t in 0..obs.len() - 1 {
+            for j in 0..hmm.num_states() {
+                let m: f64 = (0..hmm.num_states()).map(|i| p.xi[t][i][j]).sum();
+                assert!((m - p.gamma[t + 1][j]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn single_observation_sequence() {
+        let hmm = toy();
+        let p = hmm.posteriors(&[1]);
+        assert_eq!(p.gamma.len(), 1);
+        assert!(p.xi.is_empty());
+        assert!((p.gamma[0].iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sequence_panics() {
+        let hmm = toy();
+        let _ = hmm.forward(&[]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Ancestral sampling of state and observation sequences.
+
+use rand::Rng;
+
+use crate::Hmm;
+
+/// A sampled trajectory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trajectory {
+    /// Hidden state sequence.
+    pub states: Vec<usize>,
+    /// Observation sequence.
+    pub observations: Vec<usize>,
+}
+
+/// Samples a length-`len` trajectory from the model.
+///
+/// # Panics
+///
+/// Panics if `len == 0`.
+pub fn sample_sequence<R: Rng + ?Sized>(hmm: &Hmm, len: usize, rng: &mut R) -> Trajectory {
+    assert!(len > 0, "length must be positive");
+    let mut states = Vec::with_capacity(len);
+    let mut observations = Vec::with_capacity(len);
+    let init: Vec<f64> = hmm.log_init().iter().map(|lp| lp.exp()).collect();
+    let mut state = pick(&init, rng);
+    for t in 0..len {
+        if t > 0 {
+            let row: Vec<f64> = hmm.log_trans()[state].iter().map(|lp| lp.exp()).collect();
+            state = pick(&row, rng);
+        }
+        states.push(state);
+        let emit: Vec<f64> = hmm.log_emit()[state].iter().map(|lp| lp.exp()).collect();
+        observations.push(pick(&emit, rng));
+    }
+    Trajectory { states, observations }
+}
+
+fn pick<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut u = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if u < *w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampled_lengths_and_ranges() {
+        let hmm = Hmm::random(3, 5, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = sample_sequence(&hmm, 12, &mut rng);
+        assert_eq!(t.states.len(), 12);
+        assert_eq!(t.observations.len(), 12);
+        assert!(t.states.iter().all(|&s| s < 3));
+        assert!(t.observations.iter().all(|&o| o < 5));
+    }
+
+    #[test]
+    fn empirical_initial_distribution_matches() {
+        let hmm = Hmm::new(
+            vec![0.8, 0.2],
+            vec![vec![0.5, 0.5], vec![0.5, 0.5]],
+            vec![vec![1.0], vec![1.0]],
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 10_000;
+        let hits = (0..n)
+            .filter(|_| sample_sequence(&hmm, 1, &mut rng).states[0] == 0)
+            .count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.8).abs() < 0.02, "freq {freq}");
+    }
+}

@@ -1,0 +1,122 @@
+//! Viterbi decoding: the most likely hidden path.
+
+use crate::Hmm;
+
+/// Result of Viterbi decoding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViterbiResult {
+    /// The maximum a-posteriori hidden state path.
+    pub path: Vec<usize>,
+    /// Joint log-probability `log p(path, obs)`.
+    pub log_prob: f64,
+}
+
+impl Hmm {
+    /// Computes the most likely hidden state sequence for `obs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obs` is empty or contains an out-of-range symbol.
+    pub fn viterbi(&self, obs: &[usize]) -> ViterbiResult {
+        assert!(!obs.is_empty(), "observation sequence must be non-empty");
+        let s = self.num_states();
+        let t_len = obs.len();
+        let mut delta = vec![vec![f64::NEG_INFINITY; s]; t_len];
+        let mut psi = vec![vec![0usize; s]; t_len];
+        for i in 0..s {
+            delta[0][i] = self.log_init()[i] + self.log_emit()[i][obs[0]];
+        }
+        for t in 1..t_len {
+            for j in 0..s {
+                let (best_i, best) = (0..s)
+                    .map(|i| (i, delta[t - 1][i] + self.log_trans()[i][j]))
+                    .fold((0, f64::NEG_INFINITY), |acc, x| if x.1 > acc.1 { x } else { acc });
+                delta[t][j] = best + self.log_emit()[j][obs[t]];
+                psi[t][j] = best_i;
+            }
+        }
+        let (mut state, log_prob) = delta[t_len - 1]
+            .iter()
+            .enumerate()
+            .fold((0, f64::NEG_INFINITY), |acc, (i, &v)| if v > acc.1 { (i, v) } else { acc });
+        let mut path = vec![0usize; t_len];
+        path[t_len - 1] = state;
+        for t in (0..t_len - 1).rev() {
+            state = psi[t + 1][state];
+            path[t] = state;
+        }
+        ViterbiResult { path, log_prob }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Hmm {
+        Hmm::new(
+            vec![0.6, 0.4],
+            vec![vec![0.7, 0.3], vec![0.4, 0.6]],
+            vec![vec![0.5, 0.4, 0.1], vec![0.1, 0.3, 0.6]],
+        )
+        .unwrap()
+    }
+
+    fn brute_viterbi(hmm: &Hmm, obs: &[usize]) -> (Vec<usize>, f64) {
+        let s = hmm.num_states();
+        let t = obs.len();
+        let mut best_path = Vec::new();
+        let mut best = f64::NEG_INFINITY;
+        for code in 0..(s as u64).pow(t as u32) {
+            let mut c = code;
+            let mut path = Vec::with_capacity(t);
+            for _ in 0..t {
+                path.push((c % s as u64) as usize);
+                c /= s as u64;
+            }
+            let mut lp = hmm.log_init()[path[0]] + hmm.log_emit()[path[0]][obs[0]];
+            for k in 1..t {
+                lp += hmm.log_trans()[path[k - 1]][path[k]] + hmm.log_emit()[path[k]][obs[k]];
+            }
+            if lp > best {
+                best = lp;
+                best_path = path;
+            }
+        }
+        (best_path, best)
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let hmm = toy();
+        for obs in [vec![0], vec![2, 2], vec![0, 1, 2], vec![2, 0, 0, 1]] {
+            let v = hmm.viterbi(&obs);
+            let (bp, blp) = brute_viterbi(&hmm, &obs);
+            assert!((v.log_prob - blp).abs() < 1e-12, "obs {obs:?}");
+            assert_eq!(v.path, bp, "obs {obs:?}");
+        }
+    }
+
+    #[test]
+    fn viterbi_prob_bounded_by_total_likelihood() {
+        let hmm = toy();
+        let obs = vec![0, 2, 1, 1, 0];
+        let v = hmm.viterbi(&obs);
+        let ll = hmm.log_likelihood(&obs);
+        assert!(v.log_prob <= ll + 1e-12);
+    }
+
+    #[test]
+    fn deterministic_model_decodes_exactly() {
+        // State 0 always emits 0, state 1 always emits 1.
+        let hmm = Hmm::new(
+            vec![0.5, 0.5],
+            vec![vec![0.5, 0.5], vec![0.5, 0.5]],
+            vec![vec![1.0, 0.0], vec![0.0, 1.0]],
+        )
+        .unwrap();
+        let obs = vec![0, 1, 1, 0];
+        let v = hmm.viterbi(&obs);
+        assert_eq!(v.path, obs);
+    }
+}

@@ -1,0 +1,30 @@
+//! Neural substrate for the REASON reproduction.
+//!
+//! The paper's neural modules are LLMs/DNNs running on GPU SMs; REASON
+//! never accelerates them directly but (a) overlaps their execution with
+//! symbolic work in the two-level pipeline (Sec. VI-C), (b) supports small
+//! neural kernels through the tree-PE **SpMSpM mode** (Sec. V-B), and (c)
+//! needs their FLOP/byte profile to reproduce the workload
+//! characterization (Fig. 3, Table II).
+//!
+//! This crate provides the corresponding substrate:
+//!
+//! * [`tensor`] — dense row-major matrices with matmul, bias, ReLU, and
+//!   softmax kernels.
+//! * [`sparse`] — CSR sparse matrices with SpMV and Gustavson SpMSpM (the
+//!   kernel the tree-PE executes in SpMSpM mode).
+//! * [`mlp`] — multi-layer perceptron inference with parameter and FLOP
+//!   accounting.
+//! * [`proxy`] — an LLM cost proxy: FLOPs, bytes moved, and token-loop
+//!   latency modeling calibrated by parameter count, standing in for the
+//!   LLaMA-class models of the paper's workloads.
+
+pub mod mlp;
+pub mod proxy;
+pub mod sparse;
+pub mod tensor;
+
+pub use mlp::{Mlp, MlpBuilder};
+pub use proxy::{LlmProxy, NeuralCost};
+pub use sparse::CsrMatrix;
+pub use tensor::Matrix;

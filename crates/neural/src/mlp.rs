@@ -1,0 +1,195 @@
+//! Multi-layer perceptron inference.
+//!
+//! NeuroPC-style workloads (paper Table I) pair a small DNN feature
+//! extractor with a probabilistic circuit head; this MLP is that DNN
+//! substrate, with parameter/FLOP accounting for the characterization
+//! experiments.
+
+use crate::tensor::Matrix;
+
+/// One dense layer.
+#[derive(Debug, Clone, PartialEq)]
+struct Layer {
+    weight: Matrix,
+    bias: Vec<f32>,
+    relu: bool,
+}
+
+/// A feed-forward network of dense layers with optional ReLU activations
+/// and a softmax output head.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+    softmax_output: bool,
+}
+
+/// Builder for [`Mlp`].
+///
+/// ```
+/// use reason_neural::{MlpBuilder, Matrix};
+/// let mlp = MlpBuilder::new(4)
+///     .layer(8, true, 1)
+///     .layer(3, false, 2)
+///     .softmax()
+///     .build();
+/// let x = Matrix::random(1, 4, 1.0, 3);
+/// let y = mlp.forward(&x);
+/// assert_eq!(y.cols(), 3);
+/// let total: f32 = y.data().iter().sum();
+/// assert!((total - 1.0).abs() < 1e-5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MlpBuilder {
+    input_dim: usize,
+    layers: Vec<Layer>,
+    softmax_output: bool,
+}
+
+impl MlpBuilder {
+    /// Starts a builder for inputs of width `input_dim`.
+    pub fn new(input_dim: usize) -> Self {
+        MlpBuilder { input_dim, layers: Vec::new(), softmax_output: false }
+    }
+
+    /// Appends a dense layer with `width` outputs and seeded random
+    /// parameters; `relu` enables the activation.
+    pub fn layer(mut self, width: usize, relu: bool, seed: u64) -> Self {
+        let in_dim = self.layers.last().map_or(self.input_dim, |l| l.weight.cols());
+        let scale = (2.0 / in_dim as f32).sqrt();
+        let weight = Matrix::random(in_dim, width, scale, seed);
+        let bias = vec![0.0; width];
+        self.layers.push(Layer { weight, bias, relu });
+        self
+    }
+
+    /// Enables a softmax output head.
+    pub fn softmax(mut self) -> Self {
+        self.softmax_output = true;
+        self
+    }
+
+    /// Finalizes the network.
+    pub fn build(self) -> Mlp {
+        Mlp { layers: self.layers, softmax_output: self.softmax_output }
+    }
+}
+
+impl Mlp {
+    /// Runs the network on a batch (`rows` = batch size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.cols()` differs from the first layer's input width.
+    pub fn forward(&self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            let mut y = x.matmul(&layer.weight);
+            y.add_bias(&layer.bias);
+            if layer.relu {
+                y.relu();
+            }
+            x = y;
+        }
+        if self.softmax_output {
+            x.softmax_rows();
+        }
+        x
+    }
+
+    /// Argmax class per batch row.
+    pub fn classify(&self, input: &Matrix) -> Vec<usize> {
+        let out = self.forward(input);
+        (0..out.rows())
+            .map(|r| {
+                (0..out.cols())
+                    .map(|c| (c, out.at(r, c)))
+                    .fold((0, f32::NEG_INFINITY), |acc, x| if x.1 > acc.1 { x } else { acc })
+                    .0
+            })
+            .collect()
+    }
+
+    /// Total parameter count.
+    pub fn num_params(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.weight.rows() * l.weight.cols() + l.bias.len())
+            .sum()
+    }
+
+    /// FLOPs for a forward pass with the given batch size.
+    pub fn flops(&self, batch: usize) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| {
+                2 * batch as u64 * l.weight.rows() as u64 * l.weight.cols() as u64
+                    + batch as u64 * l.weight.cols() as u64
+            })
+            .sum()
+    }
+
+    /// Bytes of parameters read per forward pass (f32 weights + biases).
+    pub fn param_bytes(&self) -> u64 {
+        4 * self.num_params() as u64
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes() {
+        let mlp = MlpBuilder::new(10).layer(16, true, 1).layer(4, false, 2).build();
+        let x = Matrix::random(5, 10, 1.0, 3);
+        let y = mlp.forward(&x);
+        assert_eq!(y.rows(), 5);
+        assert_eq!(y.cols(), 4);
+    }
+
+    #[test]
+    fn softmax_head_normalizes() {
+        let mlp = MlpBuilder::new(6).layer(8, true, 1).layer(3, false, 2).softmax().build();
+        let x = Matrix::random(4, 6, 1.0, 9);
+        let y = mlp.forward(&x);
+        for r in 0..4 {
+            let s: f32 = (0..3).map(|c| y.at(r, c)).sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn classify_returns_argmax() {
+        let mlp = MlpBuilder::new(4).layer(5, false, 7).softmax().build();
+        let x = Matrix::random(3, 4, 1.0, 11);
+        let classes = mlp.classify(&x);
+        let probs = mlp.forward(&x);
+        for (r, &cls) in classes.iter().enumerate() {
+            for c in 0..5 {
+                assert!(probs.at(r, cls) >= probs.at(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn accounting() {
+        let mlp = MlpBuilder::new(10).layer(20, true, 1).layer(5, false, 2).build();
+        assert_eq!(mlp.num_params(), 10 * 20 + 20 + 20 * 5 + 5);
+        assert_eq!(mlp.param_bytes(), 4 * mlp.num_params() as u64);
+        assert_eq!(mlp.flops(2), 2 * 2 * 10 * 20 + 2 * 20 + 2 * 2 * 20 * 5 + 2 * 5);
+        assert_eq!(mlp.num_layers(), 2);
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = MlpBuilder::new(4).layer(4, true, 42).build();
+        let b = MlpBuilder::new(4).layer(4, true, 42).build();
+        let x = Matrix::random(1, 4, 1.0, 0);
+        assert_eq!(a.forward(&x), b.forward(&x));
+    }
+}

@@ -1,0 +1,337 @@
+//! Knowledge compilation: CNF formulas → deterministic circuits.
+//!
+//! This is how R²-Guard-style systems (paper Table I) turn logical safety
+//! rules into probabilistic circuits: a propositional formula over binary
+//! variables is compiled by Shannon expansion into a smooth, decomposable,
+//! *deterministic* circuit whose weighted model count equals the
+//! probability that the formula holds under independent variable marginals.
+//!
+//! The compiler caches cofactors of the clause set, producing a
+//! decision-DNNF-shaped circuit; sub-formula sharing keeps compiled sizes
+//! far below the full 2^n expansion for structured rule sets.
+
+use std::collections::HashMap;
+
+use reason_sat::{Clause, Cnf, Lit, Var};
+
+use crate::circuit::{Circuit, CircuitBuilder, NodeId};
+
+/// Per-variable Bernoulli marginals used as weights for weighted model
+/// counting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WmcWeights {
+    probs: Vec<f64>,
+}
+
+impl WmcWeights {
+    /// Weights with `probs[v] = p(X_v = 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]`.
+    pub fn new(probs: Vec<f64>) -> Self {
+        assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)), "probabilities must be in [0,1]");
+        WmcWeights { probs }
+    }
+
+    /// Uniform weights (`p = 0.5` everywhere): the weighted model count
+    /// equals `#models / 2^n`.
+    pub fn uniform(num_vars: usize) -> Self {
+        WmcWeights { probs: vec![0.5; num_vars] }
+    }
+
+    /// `p(X_v = 1)`.
+    pub fn prob(&self, var: usize) -> f64 {
+        self.probs[var]
+    }
+
+    /// Number of variables covered.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// `true` when there are no variables.
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+}
+
+/// Compiles `cnf` into a deterministic circuit over all `cnf.num_vars()`
+/// binary variables, weighted by `weights`.
+///
+/// The root's fully-marginalized probability equals the weighted model
+/// count `Pr[φ]`; conditioning works as in any PC. The circuit is smooth,
+/// decomposable, and deterministic, so MPE queries are exact.
+///
+/// Returns `None` if the formula is unsatisfiable (the zero circuit is not
+/// representable as a normalized PC).
+///
+/// # Panics
+///
+/// Panics if `weights.len() != cnf.num_vars()`.
+///
+/// ```
+/// use reason_sat::Cnf;
+/// use reason_pc::{compile_cnf, WmcWeights, Evidence};
+///
+/// // x0 | x1 under uniform weights: 3 of 4 assignments satisfy.
+/// let cnf = Cnf::from_clauses(2, vec![vec![1, 2]]);
+/// let circuit = compile_cnf(&cnf, &WmcWeights::uniform(2)).unwrap();
+/// let pr = circuit.probability(&Evidence::empty(2));
+/// assert!((pr - 0.75).abs() < 1e-12);
+/// ```
+pub fn compile_cnf(cnf: &Cnf, weights: &WmcWeights) -> Option<Circuit> {
+    assert_eq!(weights.len(), cnf.num_vars(), "weights arity mismatch");
+    let mut compiler = Compiler {
+        builder: CircuitBuilder::new(vec![2; cnf.num_vars()]),
+        cache: HashMap::new(),
+        weights,
+        num_vars: cnf.num_vars(),
+    };
+    let clauses: Vec<Vec<Lit>> = cnf.clauses().iter().map(|c| c.lits().to_vec()).collect();
+    let root = compiler.compile(clauses, 0)?;
+    Some(compiler.builder.build(root).expect("compiler emits valid circuits"))
+}
+
+/// Computes the weighted model count of `cnf` by compiling and evaluating.
+///
+/// Returns `0` for unsatisfiable formulas.
+pub fn weighted_model_count(cnf: &Cnf, weights: &WmcWeights) -> f64 {
+    match compile_cnf(cnf, weights) {
+        Some(c) => c.probability(&crate::infer::Evidence::empty(cnf.num_vars())),
+        None => 0.0,
+    }
+}
+
+struct Compiler<'w> {
+    builder: CircuitBuilder,
+    /// Cache keyed by (next variable, canonical clause set).
+    cache: HashMap<(usize, Vec<Vec<i32>>), Option<NodeId>>,
+    weights: &'w WmcWeights,
+    num_vars: usize,
+}
+
+impl Compiler<'_> {
+    /// Compiles the residual clause set starting at variable `var`,
+    /// returning a node whose scope is exactly `var..num_vars`.
+    fn compile(&mut self, clauses: Vec<Vec<Lit>>, var: usize) -> Option<NodeId> {
+        if clauses.iter().any(Vec::is_empty) {
+            return None; // unsatisfiable branch
+        }
+        if var == self.num_vars {
+            debug_assert!(clauses.is_empty(), "all variables decided but clauses remain");
+            return Some(self.true_tail(var)); // empty product ≡ constant 1
+        }
+        let key = (var, canonical(&clauses));
+        if let Some(&cached) = self.cache.get(&key) {
+            return cached;
+        }
+
+        // If the remaining clauses never mention `var`, emit a free leaf and
+        // recurse — this keeps compiled circuits compact for sparse rules.
+        let mentions = clauses.iter().any(|c| c.iter().any(|l| l.var().index() == var));
+        let result = if !mentions {
+            let tail = self.compile(clauses, var + 1);
+            tail.map(|t| {
+                let leaf = self.free_leaf(var);
+                self.builder.product(vec![leaf, t])
+            })
+        } else {
+            let pos = cofactor(&clauses, Var::new(var).pos());
+            let neg = cofactor(&clauses, Var::new(var).neg());
+            let p = self.weights.prob(var);
+            let pos_node = if p > 0.0 { self.compile(pos, var + 1) } else { None };
+            let neg_node = if p < 1.0 { self.compile(neg, var + 1) } else { None };
+            let mut children: Vec<NodeId> = Vec::with_capacity(2);
+            let mut ws: Vec<f64> = Vec::with_capacity(2);
+            if let Some(n) = pos_node {
+                let ind = self.builder.indicator(var, 1);
+                children.push(self.builder.product(vec![ind, n]));
+                ws.push(p);
+            }
+            if let Some(n) = neg_node {
+                let ind = self.builder.indicator(var, 0);
+                children.push(self.builder.product(vec![ind, n]));
+                ws.push(1.0 - p);
+            }
+            if children.is_empty() {
+                None
+            } else {
+                // WMC semantics keeps the *sub*-normalized weights: mass of
+                // an unsatisfiable branch is simply lost, so the root value
+                // is exactly Pr[φ]. `Circuit::validate` admits sums whose
+                // weights total at most 1.
+                Some(self.builder.sum(children, ws))
+            }
+        };
+        self.cache.insert(key, result);
+        result
+    }
+
+    /// Product of free leaves for variables `var..num_vars` (constant 1 over
+    /// the remaining scope).
+    fn true_tail(&mut self, var: usize) -> NodeId {
+        let leaves: Vec<NodeId> = (var..self.num_vars).map(|v| self.free_leaf(v)).collect();
+        if leaves.len() == 1 {
+            leaves[0]
+        } else {
+            self.builder.product(leaves)
+        }
+    }
+
+    /// A Bernoulli leaf carrying the variable's marginal weight.
+    fn free_leaf(&mut self, var: usize) -> NodeId {
+        let p = self.weights.prob(var);
+        self.builder.categorical(var, &[1.0 - p, p])
+    }
+}
+
+/// Canonical form of a clause set for caching.
+fn canonical(clauses: &[Vec<Lit>]) -> Vec<Vec<i32>> {
+    let mut out: Vec<Vec<i32>> = clauses
+        .iter()
+        .map(|c| {
+            let mut v: Vec<i32> = c.iter().map(|l| l.to_dimacs()).collect();
+            v.sort_unstable();
+            v
+        })
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Conditions the clause set on `lit` being true: satisfied clauses drop,
+/// falsified literals are removed.
+fn cofactor(clauses: &[Vec<Lit>], lit: Lit) -> Vec<Vec<Lit>> {
+    let mut out = Vec::with_capacity(clauses.len());
+    for c in clauses {
+        if c.contains(&lit) {
+            continue;
+        }
+        let reduced: Vec<Lit> = c.iter().copied().filter(|&l| l != !lit).collect();
+        out.push(reduced);
+    }
+    out
+}
+
+/// Compiles a single clause (disjunction) to a circuit — convenience for
+/// rule-based workloads.
+pub fn compile_clause(clause: &Clause, num_vars: usize, weights: &WmcWeights) -> Option<Circuit> {
+    let mut cnf = Cnf::new(num_vars);
+    cnf.add_clause(clause.clone());
+    compile_cnf(&cnf, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::Evidence;
+    use reason_sat::gen::random_ksat;
+    use reason_sat::{brute_force, count_models};
+
+    fn brute_wmc(cnf: &Cnf, weights: &WmcWeights) -> f64 {
+        let n = cnf.num_vars();
+        let mut total = 0.0;
+        let mut model = vec![false; n];
+        for bits in 0u64..(1 << n) {
+            for (v, slot) in model.iter_mut().enumerate() {
+                *slot = bits >> v & 1 == 1;
+            }
+            if cnf.eval(&model) {
+                let mut w = 1.0;
+                for (v, &b) in model.iter().enumerate() {
+                    w *= if b { weights.prob(v) } else { 1.0 - weights.prob(v) };
+                }
+                total += w;
+            }
+        }
+        total
+    }
+
+    #[test]
+    fn uniform_wmc_equals_model_count() {
+        for seed in 0..10 {
+            let cnf = random_ksat(8, 20, 3, seed);
+            let wmc = weighted_model_count(&cnf, &WmcWeights::uniform(8));
+            let expect = count_models(&cnf) as f64 / 256.0;
+            assert!((wmc - expect).abs() < 1e-9, "seed {seed}: {wmc} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn weighted_wmc_matches_enumeration() {
+        let weights = WmcWeights::new(vec![0.9, 0.2, 0.5, 0.7, 0.3, 0.6]);
+        for seed in 0..10 {
+            let cnf = random_ksat(6, 14, 3, 100 + seed);
+            let wmc = weighted_model_count(&cnf, &weights);
+            let expect = brute_wmc(&cnf, &weights);
+            assert!((wmc - expect).abs() < 1e-9, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn unsat_compiles_to_none() {
+        let cnf = Cnf::from_clauses(2, vec![vec![1], vec![-1]]);
+        assert!(compile_cnf(&cnf, &WmcWeights::uniform(2)).is_none());
+        assert_eq!(weighted_model_count(&cnf, &WmcWeights::uniform(2)), 0.0);
+    }
+
+    #[test]
+    fn compiled_circuit_is_valid_and_deterministic() {
+        let cnf = random_ksat(7, 16, 3, 3);
+        if !brute_force(&cnf).is_sat() {
+            return;
+        }
+        let c = compile_cnf(&cnf, &WmcWeights::uniform(7)).unwrap();
+        c.validate().unwrap();
+        assert!(c.is_syntactically_deterministic());
+    }
+
+    #[test]
+    fn conditioning_matches_conditional_wmc() {
+        let weights = WmcWeights::new(vec![0.5, 0.8, 0.3, 0.6]);
+        let cnf = Cnf::from_clauses(4, vec![vec![1, 2], vec![-2, 3], vec![3, 4]]);
+        let c = compile_cnf(&cnf, &weights).unwrap();
+        // p(x0=1 | φ) via circuit conditional against enumeration.
+        let total = brute_wmc(&cnf, &weights);
+        let mut cnf_x0 = cnf.clone();
+        cnf_x0.add_dimacs_clause(&[1]);
+        let with_x0 = brute_wmc(&cnf_x0, &weights);
+        let marg = c.marginal(&Evidence::empty(4), 0);
+        assert!((marg[1] - with_x0 / total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mpe_on_compiled_circuit_is_a_model() {
+        let cnf = Cnf::from_clauses(4, vec![vec![1, 2], vec![-1, 3], vec![-3, -2, 4]]);
+        let c = compile_cnf(&cnf, &WmcWeights::uniform(4)).unwrap();
+        let res = c.mpe(&Evidence::empty(4));
+        let model: Vec<bool> = res.assignment.iter().map(|&v| v == 1).collect();
+        assert!(cnf.eval(&model), "MPE of a formula circuit must satisfy the formula");
+    }
+
+    #[test]
+    fn cache_shares_subcircuits() {
+        // Chain formula has massive cofactor sharing: circuit stays small.
+        let mut clauses = Vec::new();
+        for i in 1..12 {
+            clauses.push(vec![-(i as i32), i as i32 + 1]);
+        }
+        let cnf = Cnf::from_clauses(12, clauses);
+        let c = compile_cnf(&cnf, &WmcWeights::uniform(12)).unwrap();
+        assert!(
+            c.num_nodes() < 400,
+            "expected compact compiled circuit, got {} nodes",
+            c.num_nodes()
+        );
+    }
+
+    #[test]
+    fn empty_formula_compiles_to_constant_one() {
+        let cnf = Cnf::new(3);
+        let c = compile_cnf(&cnf, &WmcWeights::uniform(3)).unwrap();
+        let p = c.probability(&Evidence::empty(3));
+        assert!((p - 1.0).abs() < 1e-12);
+    }
+}

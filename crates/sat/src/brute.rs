@@ -1,0 +1,97 @@
+//! Brute-force satisfiability checking and model counting.
+//!
+//! These are reference oracles for the test suite: every solver and every
+//! satisfiability-preserving transformation in this workspace is validated
+//! against exhaustive enumeration on small instances.
+
+use crate::cnf::Cnf;
+use crate::Solution;
+
+/// Maximum variable count accepted by the exhaustive routines.
+pub const MAX_BRUTE_VARS: usize = 26;
+
+/// Exhaustively searches for a model.
+///
+/// # Panics
+///
+/// Panics if the formula has more than [`MAX_BRUTE_VARS`] variables.
+///
+/// ```
+/// use reason_sat::{brute_force, Cnf};
+/// let cnf = Cnf::from_clauses(2, vec![vec![1], vec![-1, -2]]);
+/// assert!(brute_force(&cnf).is_sat());
+/// ```
+pub fn brute_force(cnf: &Cnf) -> Solution {
+    let n = cnf.num_vars();
+    assert!(n <= MAX_BRUTE_VARS, "brute force limited to {MAX_BRUTE_VARS} variables");
+    let mut model = vec![false; n];
+    for bits in 0u64..(1u64 << n) {
+        for (v, slot) in model.iter_mut().enumerate() {
+            *slot = bits >> v & 1 == 1;
+        }
+        if cnf.eval(&model) {
+            return Solution::Sat(model);
+        }
+    }
+    Solution::Unsat
+}
+
+/// Counts the models of the formula exactly.
+///
+/// Used to cross-check weighted model counting through probabilistic
+/// circuits (`reason-pc` compiles CNF to circuits whose partition function
+/// with uniform weights must equal `count_models / 2^n`).
+///
+/// # Panics
+///
+/// Panics if the formula has more than [`MAX_BRUTE_VARS`] variables.
+pub fn count_models(cnf: &Cnf) -> u64 {
+    let n = cnf.num_vars();
+    assert!(n <= MAX_BRUTE_VARS, "model counting limited to {MAX_BRUTE_VARS} variables");
+    let mut count = 0;
+    let mut model = vec![false; n];
+    for bits in 0u64..(1u64 << n) {
+        for (v, slot) in model.iter_mut().enumerate() {
+            *slot = bits >> v & 1 == 1;
+        }
+        if cnf.eval(&model) {
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_formula_has_all_models() {
+        let cnf = Cnf::new(3);
+        assert_eq!(count_models(&cnf), 8);
+        assert!(brute_force(&cnf).is_sat());
+    }
+
+    #[test]
+    fn unsat_formula_has_no_models() {
+        let cnf = Cnf::from_clauses(1, vec![vec![1], vec![-1]]);
+        assert_eq!(count_models(&cnf), 0);
+        assert!(!brute_force(&cnf).is_sat());
+    }
+
+    #[test]
+    fn xor_has_half_the_models() {
+        // x0 XOR x1 = (x0|x1) & (!x0|!x1)
+        let cnf = Cnf::from_clauses(2, vec![vec![1, 2], vec![-1, -2]]);
+        assert_eq!(count_models(&cnf), 2);
+    }
+
+    #[test]
+    fn returned_model_satisfies() {
+        let cnf = Cnf::from_clauses(3, vec![vec![1, 2], vec![-2, 3], vec![-1]]);
+        match brute_force(&cnf) {
+            Solution::Sat(m) => assert!(cnf.eval(&m)),
+            Solution::Unsat => panic!("satisfiable"),
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! A chronological DPLL solver.
+//!
+//! This is the textbook Davis–Putnam–Logemann–Loveland procedure: unit
+//! propagation, pure-literal elimination, and chronological backtracking on
+//! a most-occurrences branching heuristic. It serves two roles in the
+//! reproduction: a differential-testing oracle for the CDCL solver, and the
+//! "DPLL lookahead" phase of cube-and-conquer whose per-node broadcast /
+//! implication traffic the REASON hardware pipelines (paper Fig. 9).
+
+use crate::cnf::Cnf;
+use crate::types::{Lit, Var};
+use crate::Solution;
+
+/// Statistics for a DPLL run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DpllStats {
+    /// Branching decisions.
+    pub decisions: u64,
+    /// Literals fixed by unit propagation.
+    pub unit_propagations: u64,
+    /// Literals fixed by pure-literal elimination.
+    pub pure_literals: u64,
+    /// Chronological backtracks.
+    pub backtracks: u64,
+}
+
+/// A simple DPLL solver.
+///
+/// ```
+/// use reason_sat::{Cnf, DpllSolver};
+/// let cnf = Cnf::from_clauses(2, vec![vec![1, 2], vec![-1, 2]]);
+/// assert!(DpllSolver::new(&cnf).solve().is_sat());
+/// ```
+#[derive(Debug)]
+pub struct DpllSolver {
+    cnf: Cnf,
+    stats: DpllStats,
+}
+
+const UNASSIGNED: u8 = 2;
+
+impl DpllSolver {
+    /// Creates a solver over a copy of `cnf`.
+    pub fn new(cnf: &Cnf) -> Self {
+        DpllSolver { cnf: cnf.clone(), stats: DpllStats::default() }
+    }
+
+    /// Statistics for the most recent [`solve`](Self::solve) call.
+    pub fn stats(&self) -> &DpllStats {
+        &self.stats
+    }
+
+    /// Runs the DPLL search.
+    pub fn solve(&mut self) -> Solution {
+        self.stats = DpllStats::default();
+        let mut assign = vec![UNASSIGNED; self.cnf.num_vars()];
+        if self.search(&mut assign) {
+            let model = assign.iter().map(|&a| a == 1).collect();
+            Solution::Sat(model)
+        } else {
+            Solution::Unsat
+        }
+    }
+
+    /// Returns the literals implied by unit propagation under `assumption`,
+    /// or `None` if the assumption leads to an immediate conflict. Exposed
+    /// for the lookahead heuristic.
+    pub fn propagate_assumption(&mut self, assumption: Lit) -> Option<Vec<Lit>> {
+        let mut assign = vec![UNASSIGNED; self.cnf.num_vars()];
+        assign[assumption.var().index()] = u8::from(!assumption.is_neg());
+        let mut implied = vec![assumption];
+        match self.unit_propagate(&mut assign, &mut implied) {
+            PropResult::Conflict => None,
+            _ => Some(implied),
+        }
+    }
+
+    fn search(&mut self, assign: &mut [u8]) -> bool {
+        let mut implied: Vec<Lit> = Vec::new();
+        match self.unit_propagate(assign, &mut implied) {
+            PropResult::Conflict => {
+                self.undo(assign, &implied);
+                self.stats.backtracks += 1;
+                return false;
+            }
+            PropResult::Fixpoint => {}
+        }
+        let pures = self.fix_pure_literals(assign);
+        implied.extend_from_slice(&pures);
+
+        let branch_var = self.pick_branch_var(assign);
+        let Some(v) = branch_var else {
+            // All clauses satisfied or all vars assigned: verify.
+            if self.all_satisfied(assign) {
+                return true;
+            }
+            self.undo(assign, &implied);
+            self.stats.backtracks += 1;
+            return false;
+        };
+
+        self.stats.decisions += 1;
+        for &value in &[true, false] {
+            assign[v.index()] = u8::from(value);
+            if self.search(assign) {
+                return true;
+            }
+            assign[v.index()] = UNASSIGNED;
+        }
+        self.undo(assign, &implied);
+        self.stats.backtracks += 1;
+        false
+    }
+
+    fn undo(&self, assign: &mut [u8], lits: &[Lit]) {
+        for l in lits {
+            assign[l.var().index()] = UNASSIGNED;
+        }
+    }
+
+    fn unit_propagate(&mut self, assign: &mut [u8], implied: &mut Vec<Lit>) -> PropResult {
+        loop {
+            let mut changed = false;
+            for clause in self.cnf.clauses() {
+                let mut unassigned: Option<Lit> = None;
+                let mut num_unassigned = 0;
+                let mut satisfied = false;
+                for &l in clause.iter() {
+                    match assign[l.var().index()] {
+                        UNASSIGNED => {
+                            num_unassigned += 1;
+                            unassigned = Some(l);
+                        }
+                        v => {
+                            if l.eval(v == 1) {
+                                satisfied = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match num_unassigned {
+                    0 => return PropResult::Conflict,
+                    1 => {
+                        let l = unassigned.unwrap();
+                        assign[l.var().index()] = u8::from(!l.is_neg());
+                        implied.push(l);
+                        self.stats.unit_propagations += 1;
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                return PropResult::Fixpoint;
+            }
+        }
+    }
+
+    fn fix_pure_literals(&mut self, assign: &mut [u8]) -> Vec<Lit> {
+        let n = self.cnf.num_vars();
+        let mut pos = vec![false; n];
+        let mut neg = vec![false; n];
+        for clause in self.cnf.clauses() {
+            // Only unsatisfied clauses contribute occurrences.
+            if clause.iter().any(|&l| {
+                let a = assign[l.var().index()];
+                a != UNASSIGNED && l.eval(a == 1)
+            }) {
+                continue;
+            }
+            for &l in clause.iter() {
+                if assign[l.var().index()] == UNASSIGNED {
+                    if l.is_neg() {
+                        neg[l.var().index()] = true;
+                    } else {
+                        pos[l.var().index()] = true;
+                    }
+                }
+            }
+        }
+        let mut fixed = Vec::new();
+        for v in 0..n {
+            if assign[v] != UNASSIGNED {
+                continue;
+            }
+            let lit = match (pos[v], neg[v]) {
+                (true, false) => Var::new(v).pos(),
+                (false, true) => Var::new(v).neg(),
+                _ => continue,
+            };
+            assign[v] = u8::from(!lit.is_neg());
+            fixed.push(lit);
+            self.stats.pure_literals += 1;
+        }
+        fixed
+    }
+
+    fn pick_branch_var(&self, assign: &[u8]) -> Option<Var> {
+        let mut counts = vec![0u32; self.cnf.num_vars()];
+        for clause in self.cnf.clauses() {
+            if clause.iter().any(|&l| {
+                let a = assign[l.var().index()];
+                a != UNASSIGNED && l.eval(a == 1)
+            }) {
+                continue;
+            }
+            for &l in clause.iter() {
+                if assign[l.var().index()] == UNASSIGNED {
+                    counts[l.var().index()] += 1;
+                }
+            }
+        }
+        counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .max_by_key(|&(_, &c)| c)
+            .map(|(v, _)| Var::new(v))
+    }
+
+    fn all_satisfied(&self, assign: &[u8]) -> bool {
+        self.cnf.clauses().iter().all(|clause| {
+            clause.iter().any(|&l| {
+                let a = assign[l.var().index()];
+                a != UNASSIGNED && l.eval(a == 1)
+            })
+        })
+    }
+}
+
+enum PropResult {
+    Conflict,
+    Fixpoint,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force;
+    use crate::gen::{pigeonhole, random_ksat};
+
+    #[test]
+    fn agrees_with_brute_force() {
+        for seed in 0..25 {
+            let cnf = random_ksat(8, 28, 3, seed);
+            let expect = brute_force(&cnf).is_sat();
+            let mut dpll = DpllSolver::new(&cnf);
+            let got = dpll.solve();
+            assert_eq!(got.is_sat(), expect, "dpll wrong on seed {seed}");
+            if let Solution::Sat(m) = got {
+                assert!(cnf.eval(&m));
+            }
+        }
+    }
+
+    #[test]
+    fn pigeonhole_small_unsat() {
+        let cnf = pigeonhole(3);
+        assert!(!DpllSolver::new(&cnf).solve().is_sat());
+    }
+
+    #[test]
+    fn pure_literal_elimination_used() {
+        // x2 appears only positively.
+        let cnf = Cnf::from_clauses(3, vec![vec![1, 3], vec![-1, 3], vec![1, 2]]);
+        let mut s = DpllSolver::new(&cnf);
+        assert!(s.solve().is_sat());
+        assert!(s.stats().pure_literals > 0);
+    }
+
+    #[test]
+    fn propagate_assumption_reports_implications() {
+        // !x0 -> x1 -> x2
+        let cnf = Cnf::from_clauses(3, vec![vec![1, 2], vec![-2, 3]]);
+        let mut s = DpllSolver::new(&cnf);
+        let implied = s.propagate_assumption(Var::new(0).neg()).unwrap();
+        assert!(implied.contains(&Var::new(1).pos()));
+        assert!(implied.contains(&Var::new(2).pos()));
+    }
+
+    #[test]
+    fn propagate_assumption_detects_conflict() {
+        let cnf = Cnf::from_clauses(2, vec![vec![1], vec![-1, 2], vec![-1, -2]]);
+        let mut s = DpllSolver::new(&cnf);
+        assert!(s.propagate_assumption(Var::new(0).pos()).is_none());
+    }
+}

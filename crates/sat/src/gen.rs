@@ -1,0 +1,188 @@
+//! Seeded SAT instance generators.
+//!
+//! The REASON workload suite needs reproducible logic workloads at
+//! controllable difficulty. These generators cover the three families used
+//! by the paper-shaped experiments: uniform random k-SAT (tunable
+//! clause/variable ratio), pigeonhole formulas (provably hard, UNSAT), and
+//! graph-coloring encodings (structured, mixed SAT/UNSAT).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::cnf::Cnf;
+use crate::types::{Clause, Lit, Var};
+
+/// Generates a uniform random k-SAT formula with `num_vars` variables and
+/// `num_clauses` clauses of width `k`, deterministically from `seed`.
+///
+/// Clauses contain `k` distinct variables with independent random polarity.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > num_vars`.
+///
+/// ```
+/// use reason_sat::gen::random_ksat;
+/// let cnf = random_ksat(20, 85, 3, 7);
+/// assert_eq!(cnf.num_vars(), 20);
+/// assert_eq!(cnf.num_clauses(), 85);
+/// assert_eq!(cnf, random_ksat(20, 85, 3, 7)); // deterministic
+/// ```
+pub fn random_ksat(num_vars: usize, num_clauses: usize, k: usize, seed: u64) -> Cnf {
+    assert!(k > 0 && k <= num_vars, "clause width must be in 1..=num_vars");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cnf = Cnf::new(num_vars);
+    let mut vars: Vec<usize> = (0..num_vars).collect();
+    for _ in 0..num_clauses {
+        vars.shuffle(&mut rng);
+        let lits: Vec<Lit> = vars[..k]
+            .iter()
+            .map(|&v| Lit::new(Var::new(v), rng.gen_bool(0.5)))
+            .collect();
+        cnf.add_clause(Clause::new(lits));
+    }
+    cnf
+}
+
+/// Generates the pigeonhole principle PHP(`holes`): `holes + 1` pigeons into
+/// `holes` holes. Always unsatisfiable; resolution proofs are exponential,
+/// making these the standard hard UNSAT stressors.
+///
+/// Variable `p * holes + h` means "pigeon `p` sits in hole `h`".
+pub fn pigeonhole(holes: usize) -> Cnf {
+    let pigeons = holes + 1;
+    let var = |p: usize, h: usize| Var::new(p * holes + h);
+    let mut cnf = Cnf::new(pigeons * holes);
+    // Every pigeon sits somewhere.
+    for p in 0..pigeons {
+        cnf.add_clause((0..holes).map(|h| var(p, h).pos()).collect());
+    }
+    // No two pigeons share a hole.
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                cnf.add_clause(Clause::new(vec![var(p1, h).neg(), var(p2, h).neg()]));
+            }
+        }
+    }
+    cnf
+}
+
+/// Generates a `colors`-coloring encoding of a random graph with
+/// `num_nodes` nodes and `num_edges` distinct edges.
+///
+/// Variable `n * colors + c` means "node `n` has color `c`".
+///
+/// # Panics
+///
+/// Panics if more edges are requested than the complete graph has, or if
+/// `num_nodes < 2`.
+pub fn graph_coloring(num_nodes: usize, num_edges: usize, colors: usize, seed: u64) -> Cnf {
+    assert!(num_nodes >= 2, "need at least two nodes");
+    let max_edges = num_nodes * (num_nodes - 1) / 2;
+    assert!(num_edges <= max_edges, "requested more edges than the complete graph has");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut all_edges: Vec<(usize, usize)> = Vec::with_capacity(max_edges);
+    for a in 0..num_nodes {
+        for b in (a + 1)..num_nodes {
+            all_edges.push((a, b));
+        }
+    }
+    all_edges.shuffle(&mut rng);
+    all_edges.truncate(num_edges);
+
+    let var = |n: usize, c: usize| Var::new(n * colors + c);
+    let mut cnf = Cnf::new(num_nodes * colors);
+    // Every node gets at least one color.
+    for n in 0..num_nodes {
+        cnf.add_clause((0..colors).map(|c| var(n, c).pos()).collect());
+    }
+    // At most one color per node.
+    for n in 0..num_nodes {
+        for c1 in 0..colors {
+            for c2 in (c1 + 1)..colors {
+                cnf.add_clause(Clause::new(vec![var(n, c1).neg(), var(n, c2).neg()]));
+            }
+        }
+    }
+    // Adjacent nodes differ.
+    for (a, b) in all_edges {
+        for c in 0..colors {
+            cnf.add_clause(Clause::new(vec![var(a, c).neg(), var(b, c).neg()]));
+        }
+    }
+    cnf
+}
+
+/// Generates a satisfiable "planted" random 3-SAT instance: a hidden model
+/// is drawn first and every sampled clause is checked to be satisfied by
+/// it. Useful when experiments require guaranteed-SAT workloads.
+pub fn planted_ksat(num_vars: usize, num_clauses: usize, k: usize, seed: u64) -> Cnf {
+    assert!(k > 0 && k <= num_vars, "clause width must be in 1..=num_vars");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model: Vec<bool> = (0..num_vars).map(|_| rng.gen_bool(0.5)).collect();
+    let mut cnf = Cnf::new(num_vars);
+    let mut vars: Vec<usize> = (0..num_vars).collect();
+    while cnf.num_clauses() < num_clauses {
+        vars.shuffle(&mut rng);
+        let lits: Vec<Lit> = vars[..k]
+            .iter()
+            .map(|&v| Lit::new(Var::new(v), rng.gen_bool(0.5)))
+            .collect();
+        let clause = Clause::new(lits);
+        if clause.eval(&model) {
+            cnf.add_clause(clause);
+        }
+    }
+    cnf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force;
+    use crate::cdcl::CdclSolver;
+
+    #[test]
+    fn random_ksat_is_deterministic_and_well_formed() {
+        let a = random_ksat(10, 40, 3, 99);
+        let b = random_ksat(10, 40, 3, 99);
+        assert_eq!(a, b);
+        for c in a.clauses() {
+            assert_eq!(c.len(), 3);
+            assert!(!c.is_tautology());
+        }
+        let c = random_ksat(10, 40, 3, 100);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn pigeonhole_is_unsat() {
+        for holes in 1..=3 {
+            let cnf = pigeonhole(holes);
+            assert!(!brute_force(&cnf).is_sat(), "PHP({holes})");
+        }
+    }
+
+    #[test]
+    fn coloring_triangle_two_colors_unsat() {
+        // A triangle is not 2-colorable.
+        let cnf = graph_coloring(3, 3, 2, 0);
+        assert!(!CdclSolver::new(&cnf).solve().is_sat());
+    }
+
+    #[test]
+    fn coloring_triangle_three_colors_sat() {
+        let cnf = graph_coloring(3, 3, 3, 0);
+        assert!(CdclSolver::new(&cnf).solve().is_sat());
+    }
+
+    #[test]
+    fn planted_instances_are_sat() {
+        for seed in 0..5 {
+            let cnf = planted_ksat(15, 70, 3, seed);
+            assert!(CdclSolver::new(&cnf).solve().is_sat(), "planted seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Lookahead literal scoring for cube splitting.
+//!
+//! Cube-and-conquer (Heule et al., paper reference [27]) guides CDCL by a
+//! lookahead phase: candidate split variables are evaluated by propagating
+//! each polarity and measuring how strongly the formula shrinks. REASON's
+//! working example (paper Fig. 9, "Lookahead: LA(A) < LA(B)") ranks DPLL
+//! tree nodes by exactly this score.
+
+use crate::cnf::Cnf;
+use crate::dpll::DpllSolver;
+use crate::types::{Lit, Var};
+
+/// The lookahead measurement for one variable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LookaheadScore {
+    /// The variable measured.
+    pub var: Var,
+    /// Literals implied when the positive literal is assumed
+    /// (`None` encodes an immediate conflict ⇒ failed literal).
+    pub pos_implied: Option<usize>,
+    /// Literals implied when the negative literal is assumed.
+    pub neg_implied: Option<usize>,
+}
+
+impl LookaheadScore {
+    /// The product score `(1 + pos) * (1 + neg)` used to rank split
+    /// variables; conflicts count as maximal reduction on that side.
+    pub fn product(&self) -> u64 {
+        let p = self.pos_implied.map_or(u64::MAX >> 33, |n| n as u64);
+        let n = self.neg_implied.map_or(u64::MAX >> 33, |n| n as u64);
+        (1 + p).saturating_mul(1 + n)
+    }
+
+    /// `true` if either polarity conflicts immediately — the other polarity
+    /// is then forced (a *failed literal*).
+    pub fn failed_literal(&self) -> Option<Lit> {
+        match (self.pos_implied, self.neg_implied) {
+            (None, Some(_)) => Some(self.var.neg()),
+            (Some(_), None) => Some(self.var.pos()),
+            _ => None,
+        }
+    }
+}
+
+/// Lookahead engine over a formula.
+///
+/// ```
+/// use reason_sat::{Cnf, Lookahead};
+/// let cnf = Cnf::from_clauses(3, vec![vec![1, 2], vec![-1, 3], vec![-2, 3]]);
+/// let mut la = Lookahead::new(&cnf);
+/// let best = la.best_split(4).unwrap();
+/// assert!(best.index() < 3);
+/// ```
+#[derive(Debug)]
+pub struct Lookahead {
+    dpll: DpllSolver,
+    num_vars: usize,
+    occurrences: Vec<u32>,
+}
+
+impl Lookahead {
+    /// Builds a lookahead engine for `cnf`.
+    pub fn new(cnf: &Cnf) -> Self {
+        let mut occurrences = vec![0u32; cnf.num_vars()];
+        for clause in cnf.clauses() {
+            for lit in clause.iter() {
+                occurrences[lit.var().index()] += 1;
+            }
+        }
+        Lookahead { dpll: DpllSolver::new(cnf), num_vars: cnf.num_vars(), occurrences }
+    }
+
+    /// Scores a single variable by propagating both polarities.
+    pub fn score(&mut self, var: Var) -> LookaheadScore {
+        let pos = self.dpll.propagate_assumption(var.pos()).map(|l| l.len());
+        let neg = self.dpll.propagate_assumption(var.neg()).map(|l| l.len());
+        LookaheadScore { var, pos_implied: pos, neg_implied: neg }
+    }
+
+    /// Scores the `num_candidates` most frequently occurring variables,
+    /// excluding those listed in `frozen` (already decided in the cube).
+    pub fn score_candidates(&mut self, num_candidates: usize, frozen: &[Var]) -> Vec<LookaheadScore> {
+        let mut by_occurrence: Vec<usize> = (0..self.num_vars).collect();
+        by_occurrence.sort_by_key(|&v| std::cmp::Reverse(self.occurrences[v]));
+        let frozen_set: std::collections::HashSet<usize> =
+            frozen.iter().map(|v| v.index()).collect();
+        let candidates: Vec<usize> = by_occurrence
+            .into_iter()
+            .filter(|v| !frozen_set.contains(v) && self.occurrences[*v] > 0)
+            .take(num_candidates)
+            .collect();
+        candidates.into_iter().map(|v| self.score(Var::new(v))).collect()
+    }
+
+    /// Picks the best split variable among the top `num_candidates`
+    /// occurring variables, by maximal product score. Returns `None` when no
+    /// candidate exists (no variable occurs in any clause).
+    pub fn best_split(&mut self, num_candidates: usize) -> Option<Var> {
+        self.score_candidates(num_candidates, &[])
+            .into_iter()
+            .max_by_key(LookaheadScore::product)
+            .map(|s| s.var)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_counts_implications() {
+        // x0 -> x1 -> x2: assuming x0 implies 3 literals total (x0,x1,x2);
+        // assuming !x0 implies just itself.
+        let cnf = Cnf::from_clauses(3, vec![vec![-1, 2], vec![-2, 3]]);
+        let mut la = Lookahead::new(&cnf);
+        let s = la.score(Var::new(0));
+        assert_eq!(s.pos_implied, Some(3));
+        assert_eq!(s.neg_implied, Some(1));
+        assert!(s.failed_literal().is_none());
+    }
+
+    #[test]
+    fn failed_literal_detected() {
+        // x0 -> x1 and x0 -> !x1: assuming x0 conflicts, so !x0 is forced.
+        let cnf = Cnf::from_clauses(2, vec![vec![-1, 2], vec![-1, -2]]);
+        let mut la = Lookahead::new(&cnf);
+        let s = la.score(Var::new(0));
+        assert_eq!(s.pos_implied, None);
+        assert_eq!(s.failed_literal(), Some(Var::new(0).neg()));
+    }
+
+    #[test]
+    fn best_split_prefers_high_impact_variable() {
+        // x0 implies a long chain both ways; x3 is nearly free.
+        let cnf = Cnf::from_clauses(
+            5,
+            vec![vec![-1, 2], vec![-2, 3], vec![1, 4], vec![-4, 5], vec![4, 5]],
+        );
+        let mut la = Lookahead::new(&cnf);
+        let best = la.best_split(5).unwrap();
+        // The chosen variable must maximize the product score.
+        let scores = la.score_candidates(5, &[]);
+        let max = scores.iter().map(LookaheadScore::product).max().unwrap();
+        let best_score = scores.iter().find(|s| s.var == best).unwrap();
+        assert_eq!(best_score.product(), max);
+    }
+
+    #[test]
+    fn frozen_variables_are_skipped() {
+        let cnf = Cnf::from_clauses(3, vec![vec![-1, 2], vec![-2, 3], vec![1, 3]]);
+        let mut la = Lookahead::new(&cnf);
+        let scores = la.score_candidates(3, &[Var::new(0)]);
+        assert!(scores.iter().all(|s| s.var.index() != 0));
+    }
+}

@@ -1,0 +1,47 @@
+//! `reason-sim` — baseline hardware models for the REASON evaluation.
+//!
+//! The paper compares REASON against real machines (Xeon CPU, RTX A6000,
+//! Jetson Orin NX, V100/A100) and against ML accelerators (a TPU-like
+//! systolic array via SCALE-Sim and a DPU-like tree array via MAERI).
+//! None of that hardware exists in this environment, so this crate builds
+//! the measurement substrate: trace-driven analytic models that reproduce
+//! the *counters* the paper profiles with Nsight (Table II), the roofline
+//! placement of Fig. 3(d), and the runtime/energy baselines behind
+//! Figs. 11–13.
+//!
+//! Modules:
+//!
+//! * [`cache`] — a set-associative LRU cache simulator (L1/L2) consuming
+//!   address traces.
+//! * [`trace`] — memory-access traces with locality statistics, plus
+//!   synthesizers for the characteristic patterns of each kernel family
+//!   (streaming GEMM, row-major softmax, scattered sparse/logic walks).
+//! * [`kernels`] — [`KernelProfile`] builders for the six Table II
+//!   kernels (MatMul, Softmax, sparse MatVec, Logic, Marginal, Bayesian).
+//! * [`gpu`] — the GPU SM model: warp divergence, coalescing from traces,
+//!   cache hierarchy, DRAM bandwidth, Amdahl serialization; presets for
+//!   A6000, Orin NX, V100, A100.
+//! * [`cpu`] — a Xeon-class multicore model.
+//! * [`tpu`] — a systolic-array model (SCALE-Sim-like utilization for
+//!   GEMM, serialized execution of irregular DAG work).
+//! * [`dpu`] — a DPU-like fixed-dataflow tree array (the paper's
+//!   closest-prior accelerator baseline).
+//! * [`roofline`] — attainable-performance analysis (Fig. 3(d)).
+
+pub mod cache;
+pub mod cpu;
+pub mod dpu;
+pub mod gpu;
+pub mod kernels;
+pub mod roofline;
+pub mod tpu;
+pub mod trace;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use cpu::{CpuModel, CpuReport};
+pub use dpu::{DpuModel, DpuReport};
+pub use gpu::{GpuKernelReport, GpuModel};
+pub use kernels::{KernelClass, KernelProfile};
+pub use roofline::{roofline_point, RooflinePoint};
+pub use tpu::{TpuModel, TpuReport};
+pub use trace::AccessTrace;

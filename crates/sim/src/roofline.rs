@@ -1,0 +1,73 @@
+//! Roofline analysis (paper Fig. 3(d)).
+//!
+//! Each kernel is placed at its operational intensity; attainable
+//! performance is `min(peak_flops, bandwidth × intensity)`, and the
+//! achieved point comes from a device model run. The paper's observation
+//! — symbolic/probabilistic kernels sit far left, pinned under the
+//! bandwidth roof — falls out of the kernel profiles.
+
+use serde::{Deserialize, Serialize};
+
+use crate::gpu::GpuModel;
+use crate::kernels::KernelProfile;
+
+/// One point on the roofline plot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    /// Kernel name.
+    pub name: String,
+    /// Operational intensity (FLOPs/byte).
+    pub intensity: f64,
+    /// Attainable performance under the roofline (FLOP/s).
+    pub attainable_flops: f64,
+    /// Achieved performance from the device model (FLOP/s).
+    pub achieved_flops: f64,
+    /// `true` when the bandwidth roof (not the compute roof) binds.
+    pub memory_bound: bool,
+}
+
+/// Places a kernel on a device's roofline.
+pub fn roofline_point(gpu: &GpuModel, kernel: &KernelProfile) -> RooflinePoint {
+    let intensity = kernel.operational_intensity();
+    let bw_roof = gpu.peak_bw * intensity;
+    let attainable = bw_roof.min(gpu.peak_flops);
+    let report = gpu.run(kernel);
+    let achieved = kernel.flops / report.seconds;
+    RooflinePoint {
+        name: kernel.name.clone(),
+        intensity,
+        attainable_flops: attainable,
+        achieved_flops: achieved.min(attainable),
+        memory_bound: bw_roof < gpu.peak_flops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbolic_kernels_are_under_the_bandwidth_roof() {
+        let gpu = GpuModel::a6000();
+        for k in [KernelProfile::logic_bcp(50_000), KernelProfile::pc_marginal(100_000)] {
+            let p = roofline_point(&gpu, &k);
+            assert!(p.memory_bound, "{} should be memory-bound", p.name);
+            assert!(p.achieved_flops <= p.attainable_flops * 1.0001);
+        }
+    }
+
+    #[test]
+    fn large_gemm_reaches_the_compute_region() {
+        let gpu = GpuModel::a6000();
+        let p = roofline_point(&gpu, &KernelProfile::matmul(2048));
+        assert!(!p.memory_bound, "large GEMM has high intensity");
+        assert!(p.intensity > 100.0);
+    }
+
+    #[test]
+    fn achieved_is_positive() {
+        let gpu = GpuModel::orin_nx();
+        let p = roofline_point(&gpu, &KernelProfile::bayesian_update(128, 32));
+        assert!(p.achieved_flops > 0.0);
+    }
+}

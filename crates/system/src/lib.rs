@@ -1,0 +1,26 @@
+//! `reason-system` — system integration of the REASON co-processor
+//! (paper Sec. VI).
+//!
+//! REASON sits beside GPU SMs as a programmable co-processor. Integration
+//! has three pieces, each modeled here:
+//!
+//! * [`sync`] — the shared-memory flag protocol: the GPU writes neural
+//!   results and raises `neural_ready`; REASON polls, consumes, executes,
+//!   writes back, and raises `symbolic_ready` (paper Sec. VI-B
+//!   "Synchronization").
+//! * [`device`] — the programming model: [`ReasonDevice::execute`] and
+//!   [`ReasonDevice::check_status`] mirror the paper's `REASON_execute` /
+//!   `REASON_check_status` C++ interface (Listing 1), dispatching to the
+//!   cycle-level engines of `reason-arch` by reasoning mode.
+//! * [`pipeline`] — the two-level execution pipeline (paper Sec. VI-C):
+//!   task-level overlap of GPU neural work for batch `N+1` with REASON
+//!   symbolic work for batch `N`, on top of the intra-REASON pipelining
+//!   already modeled in `reason-arch`.
+
+pub mod device;
+pub mod pipeline;
+pub mod sync;
+
+pub use device::{BatchId, DeviceStatus, ExecuteOutcome, ReasonDevice, ReasoningMode};
+pub use pipeline::{PipelineReport, StageCost, TwoLevelPipeline};
+pub use sync::SharedMemory;

@@ -1,0 +1,108 @@
+//! `reason-workloads` — the six neuro-symbolic workloads and ten datasets
+//! of the REASON evaluation (paper Table I, Sec. VII-A).
+//!
+//! The paper's applications wrap production LLMs around symbolic and
+//! probabilistic engines. Here each workload is modeled by (a) a *neural
+//! proxy* describing the LLM-side work (token counts against
+//! [`reason_neural::LlmProxy`]) and (b) the *real reasoning kernels* —
+//! SAT solving, FOL proving, circuit marginals, constrained HMM decoding —
+//! run exactly, on synthetic task generators with known ground truth so
+//! reasoning accuracy is measurable (paper Table IV).
+//!
+//! | Workload | Paper system | Kernels | Datasets |
+//! |---|---|---|---|
+//! | [`models::alphageometry`] | AlphaGeometry [15] | FOL → grounding → SAT (cube-and-conquer) | IMO, MiniF2F |
+//! | [`models::r2guard`] | R²-Guard [22] | rule CNF → compiled PC, WMC | TwinSafety, XSTest |
+//! | [`models::gelato`] | GeLaTo [29] | HMM × keyword-DFA constrained generation | CommonGen, News |
+//! | [`models::ctrlg`] | Ctrl-G [23] | HMM text infilling under DFA constraints | CoAuthor |
+//! | [`models::neuropc`] | NeuroPC [30] | MLP features → PC classification | AwA2 |
+//! | [`models::linc`] | LINC [31] | FOL resolution proving | FOLIO, ProofWriter |
+//!
+//! [`spec`] carries the dataset/scale/seed vocabulary; [`scaling`]
+//! implements the Fig. 2 scaling analyses.
+
+pub mod models;
+pub mod scaling;
+pub mod spec;
+
+pub use models::alphageometry::AlphaGeometry;
+pub use models::ctrlg::CtrlG;
+pub use models::gelato::GeLaTo;
+pub use models::linc::Linc;
+pub use models::neuropc::NeuroPc;
+pub use models::r2guard::R2Guard;
+pub use spec::{Dataset, Scale, TaskSpec, Workload};
+
+use reason_sim::KernelProfile;
+
+/// Result of running one task's reasoning with exact kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskResult {
+    /// Did the reasoning produce the ground-truth answer?
+    pub correct: bool,
+    /// Task-specific quality metric (accuracy contribution, BLEU proxy,
+    /// success flag — the Table IV "Metrics" column).
+    pub score: f64,
+    /// Reasoning-kernel footprint in bytes (Table IV memory column).
+    pub kernel_bytes: usize,
+}
+
+/// A workload model: generates tasks, solves them exactly, and describes
+/// the per-task kernel mix for the baseline device models.
+pub trait WorkloadModel {
+    /// The workload this model implements.
+    fn workload(&self) -> Workload;
+
+    /// Solves one task with exact reasoning. `optimized` enables the
+    /// REASON algorithm pipeline (pruning); Table IV compares both
+    /// settings.
+    fn run_task(&self, spec: &TaskSpec, optimized: bool) -> TaskResult;
+
+    /// The symbolic/probabilistic kernel profiles of one task, consumed
+    /// by the GPU/CPU/TPU/DPU baseline models.
+    fn kernel_profiles(&self, spec: &TaskSpec) -> Vec<KernelProfile>;
+
+    /// Neural-side work: (prompt tokens, generated tokens) per task for
+    /// the LLM proxy.
+    fn neural_tokens(&self, spec: &TaskSpec) -> (u64, u64);
+}
+
+/// The model implementing a given workload.
+pub fn model_for(workload: Workload) -> Box<dyn WorkloadModel> {
+    match workload {
+        Workload::AlphaGeometry => Box::new(AlphaGeometry),
+        Workload::R2Guard => Box::new(R2Guard),
+        Workload::GeLaTo => Box::new(GeLaTo),
+        Workload::CtrlG => Box::new(CtrlG),
+        Workload::NeuroPc => Box::new(NeuroPc),
+        Workload::Linc => Box::new(Linc),
+    }
+}
+
+/// Mean score over a batch of tasks (accuracy / AUPRC proxy / success
+/// rate, per workload semantics).
+pub fn batch_score(model: &dyn WorkloadModel, specs: &[TaskSpec], optimized: bool) -> f64 {
+    if specs.is_empty() {
+        return 0.0;
+    }
+    specs.iter().map(|s| model.run_task(s, optimized).score).sum::<f64>() / specs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_workload_has_a_model() {
+        for w in Workload::all() {
+            let m = model_for(w);
+            assert_eq!(m.workload(), w);
+        }
+    }
+
+    #[test]
+    fn batch_score_empty_is_zero() {
+        let m = model_for(Workload::R2Guard);
+        assert_eq!(batch_score(m.as_ref(), &[], true), 0.0);
+    }
+}

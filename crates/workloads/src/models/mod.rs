@@ -1,0 +1,8 @@
+//! The six workload models (paper Table I).
+
+pub mod alphageometry;
+pub mod ctrlg;
+pub mod gelato;
+pub mod linc;
+pub mod neuropc;
+pub mod r2guard;

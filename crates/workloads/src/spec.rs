@@ -1,0 +1,241 @@
+//! Datasets, scales, and task specifications (paper Sec. VII-A).
+
+use std::fmt;
+
+/// The ten evaluation datasets of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// IMO geometry problems (AlphaGeometry).
+    Imo,
+    /// MiniF2F formal mathematics (AlphaGeometry).
+    MiniF2F,
+    /// TwinSafety unsafety detection (R²-Guard).
+    TwinSafety,
+    /// XSTest exaggerated-safety suite (R²-Guard).
+    XsTest,
+    /// CommonGen constrained generation (GeLaTo).
+    CommonGen,
+    /// News constrained generation (GeLaTo).
+    News,
+    /// CoAuthor interactive writing (Ctrl-G).
+    CoAuthor,
+    /// AwA2 attribute classification (NeuroPC).
+    AwA2,
+    /// FOLIO natural-language FOL reasoning (LINC).
+    Folio,
+    /// ProofWriter deductive reasoning (LINC).
+    ProofWriter,
+}
+
+impl Dataset {
+    /// All ten datasets, in the paper's column order (Fig. 11).
+    pub fn all() -> [Dataset; 10] {
+        [
+            Dataset::Imo,
+            Dataset::MiniF2F,
+            Dataset::TwinSafety,
+            Dataset::XsTest,
+            Dataset::CommonGen,
+            Dataset::News,
+            Dataset::CoAuthor,
+            Dataset::AwA2,
+            Dataset::Folio,
+            Dataset::ProofWriter,
+        ]
+    }
+
+    /// Display name matching the paper's figure labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Imo => "IMO",
+            Dataset::MiniF2F => "MiniF2F",
+            Dataset::TwinSafety => "TwinS",
+            Dataset::XsTest => "XSTest",
+            Dataset::CommonGen => "ComGen",
+            Dataset::News => "News",
+            Dataset::CoAuthor => "CoAuthor",
+            Dataset::AwA2 => "AwA2",
+            Dataset::Folio => "FOLIO",
+            Dataset::ProofWriter => "Proof",
+        }
+    }
+
+    /// The workload evaluated on this dataset (paper Table IV rows).
+    pub fn workload(self) -> Workload {
+        match self {
+            Dataset::Imo | Dataset::MiniF2F => Workload::AlphaGeometry,
+            Dataset::TwinSafety | Dataset::XsTest => Workload::R2Guard,
+            Dataset::CommonGen | Dataset::News => Workload::GeLaTo,
+            Dataset::CoAuthor => Workload::CtrlG,
+            Dataset::AwA2 => Workload::NeuroPc,
+            Dataset::Folio | Dataset::ProofWriter => Workload::Linc,
+        }
+    }
+}
+
+impl fmt::Display for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// The six neuro-symbolic workloads (paper Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Math theorem proving & reasoning.
+    AlphaGeometry,
+    /// Unsafety detection with probabilistic rule circuits.
+    R2Guard,
+    /// Constrained text generation.
+    GeLaTo,
+    /// Interactive text editing / infilling.
+    CtrlG,
+    /// Compositional classification through probabilistic circuits.
+    NeuroPc,
+    /// Logical/deductive reasoning with FOL provers.
+    Linc,
+}
+
+impl Workload {
+    /// All six workloads in the paper's order.
+    pub fn all() -> [Workload; 6] {
+        [
+            Workload::AlphaGeometry,
+            Workload::R2Guard,
+            Workload::GeLaTo,
+            Workload::CtrlG,
+            Workload::NeuroPc,
+            Workload::Linc,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::AlphaGeometry => "AlphaGeometry",
+            Workload::R2Guard => "R2-Guard",
+            Workload::GeLaTo => "GeLaTo",
+            Workload::CtrlG => "Ctrl-G",
+            Workload::NeuroPc => "NeuroPC",
+            Workload::Linc => "LINC",
+        }
+    }
+
+    /// Fraction of end-to-end runtime spent in symbolic/probabilistic
+    /// kernels on a GPU platform (paper Fig. 3(a) measurements).
+    pub fn symbolic_runtime_share(self) -> f64 {
+        match self {
+            Workload::AlphaGeometry => 0.638,
+            Workload::R2Guard => 0.627,
+            Workload::GeLaTo => 0.366,
+            Workload::CtrlG => 0.639,
+            Workload::NeuroPc => 0.505,
+            Workload::Linc => 0.348,
+        }
+    }
+
+    /// Reasoning-kernel invocations per task (the agentic loop length:
+    /// deduction steps, guard queries, decode steps). Calibrated so the
+    /// REASON accelerator completes a task's symbolic stage in the
+    /// paper's sub-second regime.
+    pub fn reasoning_steps(self) -> u64 {
+        match self {
+            Workload::AlphaGeometry => 25_000,
+            Workload::R2Guard => 3_000,
+            Workload::GeLaTo => 4_000,
+            Workload::CtrlG => 3_500,
+            Workload::NeuroPc => 2_500,
+            Workload::Linc => 20_000,
+        }
+    }
+
+    /// Measured sparsity of this workload's symbolic/probabilistic
+    /// structures (paper Sec. III-B: 82–89%).
+    pub fn sparsity(self) -> f64 {
+        match self {
+            Workload::AlphaGeometry => 0.82,
+            Workload::R2Guard => 0.87,
+            Workload::GeLaTo => 0.75,
+            Workload::CtrlG => 0.83,
+            Workload::NeuroPc => 0.89,
+            Workload::Linc => 0.83,
+        }
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Task scale (paper Fig. 3(b) small/large splits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// The small task split.
+    Small,
+    /// The large task split.
+    Large,
+}
+
+impl Scale {
+    /// Multiplier applied to the workload's structural size knobs.
+    pub fn factor(self) -> usize {
+        match self {
+            Scale::Small => 1,
+            Scale::Large => 3,
+        }
+    }
+}
+
+/// One reasoning task instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskSpec {
+    /// The dataset this task is drawn from.
+    pub dataset: Dataset,
+    /// The task scale split.
+    pub scale: Scale,
+    /// Generator seed (task identity).
+    pub seed: u64,
+}
+
+impl TaskSpec {
+    /// A task from `dataset` at `scale` with generator `seed`.
+    pub fn new(dataset: Dataset, scale: Scale, seed: u64) -> Self {
+        TaskSpec { dataset, scale, seed }
+    }
+
+    /// A batch of `n` tasks with consecutive seeds.
+    pub fn batch(dataset: Dataset, scale: Scale, n: usize) -> Vec<TaskSpec> {
+        (0..n as u64).map(|seed| TaskSpec::new(dataset, scale, seed)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_datasets_map_to_six_workloads() {
+        let mut workloads: Vec<Workload> = Dataset::all().iter().map(|d| d.workload()).collect();
+        workloads.sort_by_key(|w| w.name());
+        workloads.dedup();
+        assert_eq!(workloads.len(), 6);
+    }
+
+    #[test]
+    fn shares_are_probabilities() {
+        for w in Workload::all() {
+            assert!((0.0..=1.0).contains(&w.symbolic_runtime_share()));
+            assert!((0.0..=1.0).contains(&w.sparsity()));
+        }
+    }
+
+    #[test]
+    fn batch_seeds_are_distinct() {
+        let batch = TaskSpec::batch(Dataset::Imo, Scale::Small, 5);
+        assert_eq!(batch.len(), 5);
+        let seeds: std::collections::HashSet<u64> = batch.iter().map(|t| t.seed).collect();
+        assert_eq!(seeds.len(), 5);
+    }
+}

@@ -1,0 +1,169 @@
+//! Cross-crate integration: the full REASON stack, from reasoning kernel
+//! to cycle-level hardware execution.
+//!
+//! These tests pin the reproduction's central invariant: every layer —
+//! exact substrate algorithms, the unified DAG, the compiled VLIW
+//! program on the simulated accelerator, and the co-processor interface —
+//! computes the same answers.
+
+use reason::arch::{ArchConfig, SymbolicEngine, VliwExecutor};
+use reason::compiler::ReasonCompiler;
+use reason::core::{dag_from_circuit, dag_from_cnf, dag_from_hmm, KernelSource, ReasonPipeline};
+use reason::hmm::Hmm;
+use reason::pc::{random_mixture_circuit, Evidence, StructureConfig};
+use reason::sat::{brute_force, gen::random_ksat, CdclSolver, DpllSolver};
+use reason::system::{ReasonDevice, SharedMemory};
+
+#[test]
+fn four_sat_engines_agree() {
+    for seed in 0..8 {
+        let cnf = random_ksat(10, 40, 3, seed);
+        let expect = brute_force(&cnf).is_sat();
+        assert_eq!(CdclSolver::new(&cnf).solve().is_sat(), expect, "cdcl seed {seed}");
+        assert_eq!(DpllSolver::new(&cnf).solve().is_sat(), expect, "dpll seed {seed}");
+        let (hw, _) = SymbolicEngine::new(ArchConfig::paper()).solve(&cnf);
+        assert_eq!(hw.is_sat(), expect, "hardware seed {seed}");
+    }
+}
+
+#[test]
+fn sat_dag_on_hardware_evaluates_satisfying_assignments() {
+    let cnf = random_ksat(9, 32, 3, 3);
+    let config = ArchConfig::paper();
+    let kernel = ReasonPipeline::new().compile(KernelSource::Sat(&cnf)).unwrap();
+    let compiled = ReasonCompiler::new(config).compile(&kernel.dag).unwrap();
+    let exec = VliwExecutor::new(config);
+    let mut checked = 0;
+    for bits in 0..512u32 {
+        let model: Vec<bool> = (0..9).map(|v| bits >> v & 1 == 1).collect();
+        if cnf.eval(&model) {
+            let inputs: Vec<f64> = model.iter().map(|&b| f64::from(b)).collect();
+            let report = exec.execute(&compiled.program(&inputs));
+            assert_eq!(report.output, 1.0, "model {bits:09b} must satisfy the compiled kernel");
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "instance should have models");
+}
+
+#[test]
+fn pc_inference_matches_through_every_layer() {
+    let circuit = random_mixture_circuit(&StructureConfig {
+        num_vars: 7,
+        depth: 3,
+        num_components: 2,
+        seed: 11,
+    });
+    let config = ArchConfig::paper();
+    let (dag, map) = dag_from_circuit(&circuit);
+    let dag = reason::core::regularize(&dag);
+    let compiled = ReasonCompiler::new(config).compile(&dag).unwrap();
+    let exec = VliwExecutor::new(config);
+    for seed in 0..10u64 {
+        // Random partial evidence.
+        let ev: Vec<Option<usize>> = (0..7)
+            .map(|v| match (seed + v) % 3 {
+                0 => Some(((seed >> v) & 1) as usize),
+                _ => None,
+            })
+            .collect();
+        let exact = circuit.probability(&Evidence::from_values(&ev));
+        let dag_val = dag.evaluate_output(&map.inputs_for_evidence(circuit.arities(), &ev));
+        let hw = exec.execute(&compiled.program(&map.inputs_for_evidence(circuit.arities(), &ev)));
+        assert!((dag_val - exact).abs() < 1e-9, "DAG vs circuit, evidence {ev:?}");
+        assert!((hw.output - exact).abs() < 1e-9, "hardware vs circuit, evidence {ev:?}");
+    }
+}
+
+#[test]
+fn hmm_likelihood_matches_through_every_layer() {
+    let hmm = Hmm::random(4, 5, 77);
+    let len = 7;
+    let config = ArchConfig::paper();
+    let (dag, map) = dag_from_hmm(&hmm, len);
+    let dag = reason::core::regularize(&dag);
+    let compiled = ReasonCompiler::new(config).compile(&dag).unwrap();
+    let exec = VliwExecutor::new(config);
+    for seed in 0..5u64 {
+        let obs: Vec<usize> = (0..len).map(|t| ((seed + t as u64 * 3) % 5) as usize).collect();
+        let wrapped: Vec<Option<usize>> = obs.iter().map(|&o| Some(o)).collect();
+        let exact = hmm.log_likelihood(&obs).exp();
+        let hw = exec.execute(&compiled.program(&map.inputs_for_observations(&wrapped)));
+        assert!(
+            (hw.output - exact).abs() < 1e-9,
+            "hardware {} vs forward algorithm {exact}",
+            hw.output
+        );
+    }
+}
+
+#[test]
+fn pruned_sat_kernel_still_accepts_models_on_hardware() {
+    // The full REASON pipeline (with pruning) composed with hardware
+    // execution: every model of the original formula must still evaluate
+    // to 1.0 on the accelerator.
+    let cnf = random_ksat(8, 26, 3, 21);
+    let config = ArchConfig::paper();
+    let kernel = ReasonPipeline::new().compile(KernelSource::Sat(&cnf)).unwrap();
+    let compiled = ReasonCompiler::new(config).compile(&kernel.dag).unwrap();
+    let exec = VliwExecutor::new(config);
+    for bits in 0..256u32 {
+        let model: Vec<bool> = (0..8).map(|v| bits >> v & 1 == 1).collect();
+        if cnf.eval(&model) {
+            let inputs: Vec<f64> = model.iter().map(|&b| f64::from(b)).collect();
+            assert_eq!(exec.execute(&compiled.program(&inputs)).output, 1.0);
+        }
+    }
+}
+
+#[test]
+fn device_interface_round_trips_through_shared_memory() {
+    let circuit = random_mixture_circuit(&StructureConfig {
+        num_vars: 5,
+        depth: 2,
+        num_components: 2,
+        seed: 5,
+    });
+    let config = ArchConfig::paper();
+    let (dag, map) = dag_from_circuit(&circuit);
+    let dag = reason::core::regularize(&dag);
+    let kernel = ReasonCompiler::new(config).compile(&dag).unwrap();
+
+    let shm = SharedMemory::new();
+    let mut device = ReasonDevice::new(config, shm.clone());
+    for batch in 0..4u64 {
+        let ev: Vec<Option<usize>> = (0..5).map(|v| if v as u64 == batch { Some(1) } else { None }).collect();
+        shm.publish_neural(batch, map.inputs_for_evidence(circuit.arities(), &ev));
+        let outcome = device.execute_dag(batch, &kernel);
+        let expect = circuit.probability(&Evidence::from_values(&ev));
+        let published = shm.wait_symbolic(batch)[0];
+        assert!((published - expect).abs() < 1e-9, "batch {batch}");
+        assert!(outcome.cycles() > 0);
+    }
+}
+
+#[test]
+fn ablations_change_cycles_but_never_results() {
+    let circuit = random_mixture_circuit(&StructureConfig {
+        num_vars: 8,
+        depth: 3,
+        num_components: 3,
+        seed: 9,
+    });
+    let (dag, map) = dag_from_circuit(&circuit);
+    let dag = reason::core::regularize(&dag);
+    let inputs = map.inputs_for_evidence(circuit.arities(), &vec![None; 8]);
+
+    let full = ArchConfig::paper();
+    let mut crippled = full;
+    crippled.ablation.scheduling = false;
+    crippled.ablation.bank_mapping = false;
+    crippled.ablation.reconfigurable = false;
+
+    let fast_kernel = ReasonCompiler::new(full).compile(&dag).unwrap();
+    let slow_kernel = ReasonCompiler::new(crippled).compile(&dag).unwrap();
+    let fast = VliwExecutor::new(full).execute(&fast_kernel.program(&inputs));
+    let slow = VliwExecutor::new(crippled).execute(&slow_kernel.program(&inputs));
+    assert!((fast.output - slow.output).abs() < 1e-12, "ablations must be timing-only");
+    assert!(slow.cycles > fast.cycles, "removing every technique must cost cycles");
+}

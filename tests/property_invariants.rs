@@ -1,0 +1,127 @@
+//! Property-based tests (proptest) on the workspace's core invariants.
+//!
+//! Randomized structures exercise the algebraic properties the REASON
+//! stack depends on: satisfiability preservation under preprocessing,
+//! semantic preservation under DAG lowering/regularization/compilation,
+//! probabilistic normalization, Benes routability, and pipeline-schedule
+//! sanity.
+
+use proptest::prelude::*;
+
+use reason::arch::{ArchConfig, BenesNetwork, VliwExecutor};
+use reason::compiler::ReasonCompiler;
+use reason::core::{dag_from_cnf, regularize};
+use reason::hmm::Hmm;
+use reason::pc::{compile_cnf, Evidence, WmcWeights};
+use reason::sat::{brute_force, CdclSolver, Cnf, Preprocessor};
+use reason::system::{StageCost, TwoLevelPipeline};
+
+/// A random small CNF as DIMACS-style clause lists.
+fn arb_cnf(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = Cnf> {
+    let var = 1..=max_vars as i32;
+    let lit = (var, any::<bool>()).prop_map(|(v, neg)| if neg { -v } else { v });
+    let clause = prop::collection::vec(lit, 1..=3);
+    prop::collection::vec(clause, 1..=max_clauses)
+        .prop_map(move |clauses| Cnf::from_clauses(max_vars, clauses))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn preprocessing_preserves_satisfiability(cnf in arb_cnf(8, 20)) {
+        let expect = brute_force(&cnf).is_sat();
+        let result = Preprocessor::new().run(&cnf);
+        let got = match result.decided {
+            Some(d) => d,
+            None => CdclSolver::new(&result.cnf).solve().is_sat(),
+        };
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn preprocessing_models_reconstruct(cnf in arb_cnf(8, 16)) {
+        let result = Preprocessor::new().run(&cnf);
+        let reduced_model = match result.decided {
+            Some(false) => return Ok(()),
+            Some(true) => vec![false; cnf.num_vars()],
+            None => match CdclSolver::new(&result.cnf).solve() {
+                reason::sat::Solution::Sat(m) => m,
+                reason::sat::Solution::Unsat => return Ok(()),
+            },
+        };
+        let model = result.reconstruct_model(&reduced_model);
+        prop_assert!(cnf.eval(&model));
+    }
+
+    #[test]
+    fn dag_lowering_matches_cnf_semantics(cnf in arb_cnf(7, 14), bits in 0u32..128) {
+        let (dag, _) = dag_from_cnf(&cnf);
+        let reg = regularize(&dag);
+        let model: Vec<bool> = (0..7).map(|v| bits >> v & 1 == 1).collect();
+        let inputs: Vec<f64> = model.iter().map(|&b| f64::from(b)).collect();
+        let expect = f64::from(u8::from(cnf.eval(&model)));
+        prop_assert_eq!(dag.evaluate_output(&inputs), expect);
+        prop_assert_eq!(reg.evaluate_output(&inputs), expect);
+        prop_assert!(reg.max_fan_in() <= 2);
+    }
+
+    #[test]
+    fn compiled_kernels_match_dag_evaluation(cnf in arb_cnf(6, 12), bits in 0u32..64) {
+        let (dag, _) = dag_from_cnf(&cnf);
+        let dag = regularize(&dag);
+        let config = ArchConfig::paper();
+        let kernel = ReasonCompiler::new(config).compile(&dag).unwrap();
+        let inputs: Vec<f64> = (0..6).map(|v| f64::from(bits >> v & 1)).collect();
+        let report = VliwExecutor::new(config).execute(&kernel.program(&inputs));
+        prop_assert_eq!(report.output, dag.evaluate_output(&inputs));
+    }
+
+    #[test]
+    fn wmc_circuits_are_probabilities(cnf in arb_cnf(6, 10), p in 0.05f64..0.95) {
+        let weights = WmcWeights::new(vec![p; 6]);
+        if let Some(circuit) = compile_cnf(&cnf, &weights) {
+            let pr = circuit.probability(&Evidence::empty(6));
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&pr));
+            circuit.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn benes_routes_every_permutation(seed in 0u64..500, logn in 1u32..6) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let n = 1usize << logn;
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        perm.shuffle(&mut rng);
+        let net = BenesNetwork::new(n);
+        let routing = net.route(&perm).unwrap();
+        let out = routing.apply(&(0..n).collect::<Vec<_>>());
+        for (i, &o) in perm.iter().enumerate() {
+            prop_assert_eq!(out[o], i);
+        }
+    }
+
+    #[test]
+    fn hmm_filtering_normalizes(states in 2usize..5, symbols in 2usize..5, seed in 0u64..100, len in 1usize..12) {
+        let hmm = Hmm::random(states, symbols, seed);
+        let obs: Vec<usize> = (0..len).map(|t| (t * 7 + seed as usize) % symbols).collect();
+        for row in hmm.filter(&obs) {
+            let total: f64 = row.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn two_level_pipeline_bounds(costs in prop::collection::vec((0.01f64..2.0, 0.01f64..2.0), 1..20)) {
+        let tasks: Vec<StageCost> =
+            costs.iter().map(|&(n, s)| StageCost { neural_s: n, symbolic_s: s }).collect();
+        let report = TwoLevelPipeline::new().schedule(&tasks);
+        // Never worse than serial, never better than the dominant stage.
+        prop_assert!(report.pipelined_s <= report.serial_s + 1e-9);
+        let neural_total: f64 = tasks.iter().map(|t| t.neural_s).sum();
+        let symbolic_total: f64 = tasks.iter().map(|t| t.symbolic_s).sum();
+        prop_assert!(report.pipelined_s + 1e-9 >= neural_total.max(symbolic_total));
+    }
+}
