@@ -263,9 +263,7 @@ impl SymbolicEngine {
         let avg_watch_len = if total_lits == 0 {
             0.0
         } else {
-            (0..total_lits)
-                .map(|code| wl.watch_len(Lit::from_code(code)))
-                .sum::<usize>() as f64
+            (0..total_lits).map(|code| wl.watch_len(Lit::from_code(code))).sum::<usize>() as f64
                 / total_lits as f64
         };
 
@@ -273,11 +271,8 @@ impl SymbolicEngine {
         // clause record + 8 per watch head entry.
         let db_bytes = 16 * cnf.num_clauses() + 8 * total_lits;
         let sram_bytes = self.config.sram_kib * 1024;
-        let miss_rate = if db_bytes <= sram_bytes {
-            0.0
-        } else {
-            1.0 - sram_bytes as f64 / db_bytes as f64
-        };
+        let miss_rate =
+            if db_bytes <= sram_bytes { 0.0 } else { 1.0 - sram_bytes as f64 / db_bytes as f64 };
 
         let mut observer = TimingObserver {
             tree,
@@ -297,9 +292,8 @@ impl SymbolicEngine {
             events: EnergyEvents::default(),
         };
         let mut solver = CdclSolver::new(cnf);
-        let solution = solver
-            .solve_with(&mut observer, &[])
-            .expect("unlimited solve always completes");
+        let solution =
+            solver.solve_with(&mut observer, &[]).expect("unlimited solve always completes");
 
         // Cube-and-conquer distributes independent DPLL branches across
         // the PE array ("Multiple parallelable CDCLs", paper Fig. 9 top):

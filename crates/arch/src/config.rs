@@ -85,10 +85,7 @@ impl ArchConfig {
             sram_kib: 2400,
             freq_mhz: 500,
             tech: TechNode::N28,
-            ablation: AblationConfig {
-                reconfigurable: false,
-                ..AblationConfig::default()
-            },
+            ablation: AblationConfig { reconfigurable: false, ..AblationConfig::default() },
         }
     }
 

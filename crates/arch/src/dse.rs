@@ -49,12 +49,7 @@ where
     for &d in depths {
         for &b in banks {
             for &r in regs {
-                let config = ArchConfig {
-                    tree_depth: d,
-                    num_banks: b,
-                    regs_per_bank: r,
-                    ..*base
-                };
+                let config = ArchConfig { tree_depth: d, num_banks: b, regs_per_bank: r, ..*base };
                 config.validate();
                 let (cycles, energy_j) = evaluate(&config);
                 points.push(DesignPoint {
@@ -93,7 +88,13 @@ mod tests {
 
     #[test]
     fn edp_definition() {
-        let p = DesignPoint { tree_depth: 3, num_banks: 64, regs_per_bank: 32, cycles: 100, energy_j: 0.5 };
+        let p = DesignPoint {
+            tree_depth: 3,
+            num_banks: 64,
+            regs_per_bank: 32,
+            cycles: 100,
+            energy_j: 0.5,
+        };
         assert_eq!(p.edp(), 50.0);
     }
 }

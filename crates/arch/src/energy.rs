@@ -186,7 +186,11 @@ impl EnergyModel {
     /// A busy-workload event profile for one cycle of a fully active
     /// array, used to sanity-check the power calibration against the
     /// paper's 2.12 W.
-    pub fn busy_cycle_events(num_pes: usize, nodes_per_pe: usize, leaves_per_pe: usize) -> EnergyEvents {
+    pub fn busy_cycle_events(
+        num_pes: usize,
+        nodes_per_pe: usize,
+        leaves_per_pe: usize,
+    ) -> EnergyEvents {
         EnergyEvents {
             alu_ops: (num_pes * nodes_per_pe) as u64,
             reg_reads: (num_pes * leaves_per_pe * 2) as u64,

@@ -115,10 +115,9 @@ impl VliwProgram {
                         BlockOperand::Read(i) => {
                             assert!(*i < instr.reads.len(), "instruction {k} read out of range")
                         }
-                        BlockOperand::Node(j) => assert!(
-                            *j < instr.nodes.len(),
-                            "instruction {k} node ref out of range"
-                        ),
+                        BlockOperand::Node(j) => {
+                            assert!(*j < instr.nodes.len(), "instruction {k} node ref out of range")
+                        }
                     }
                 }
             }

@@ -44,7 +44,7 @@ fn bench_dag_mode(c: &mut Criterion) {
     });
     let (dag, map) = dag_from_circuit(&circuit);
     let dag = regularize(&dag);
-    let inputs = map.inputs_for_evidence(circuit.arities(), &vec![None; 10]);
+    let inputs = map.inputs_for_evidence(circuit.arities(), &[None; 10]);
 
     let full = ArchConfig::paper();
     let mut no_sched = full;
@@ -52,7 +52,8 @@ fn bench_dag_mode(c: &mut Criterion) {
     let mut no_banks = full;
     no_banks.ablation.bank_mapping = false;
 
-    for (name, cfg) in [("full", full), ("no_scheduling", no_sched), ("no_bank_mapping", no_banks)] {
+    for (name, cfg) in [("full", full), ("no_scheduling", no_sched), ("no_bank_mapping", no_banks)]
+    {
         let kernel = ReasonCompiler::new(cfg).compile(&dag).unwrap();
         let program = kernel.program(&inputs);
         let exec = VliwExecutor::new(cfg);

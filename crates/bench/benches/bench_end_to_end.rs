@@ -23,11 +23,9 @@ fn bench_end_to_end(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig11_end_to_end_eval");
     g.measurement_time(Duration::from_secs(3)).sample_size(10);
     for dataset in [Dataset::Imo, Dataset::CommonGen] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(dataset.name()),
-            &dataset,
-            |b, &d| b.iter(|| end_to_end_cost(Platform::Reason, d, 2)),
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(dataset.name()), &dataset, |b, &d| {
+            b.iter(|| end_to_end_cost(Platform::Reason, d, 2))
+        });
     }
     g.finish();
 }

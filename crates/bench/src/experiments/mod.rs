@@ -6,12 +6,12 @@
 use std::fmt::Write as _;
 
 use reason_arch::{
-    broadcast_latency_cycles, explore_design_space, noc_latency_breakdown, ArchConfig,
-    NocTopology, SymbolicEngine, TechNode, VliwExecutor,
+    broadcast_latency_cycles, explore_design_space, noc_latency_breakdown, ArchConfig, NocTopology,
+    SymbolicEngine, TechNode, VliwExecutor,
 };
 use reason_compiler::ReasonCompiler;
 use reason_core::{KernelSource, PipelineConfig, ReasonPipeline};
-use reason_sim::{roofline_point, GpuModel, KernelProfile, TpuModel, DpuModel};
+use reason_sim::{roofline_point, DpuModel, GpuModel, KernelProfile, TpuModel};
 use reason_workloads::scaling::{accuracy_scaling, runtime_scaling, TaskFamily};
 use reason_workloads::{batch_score, model_for, Dataset, Scale, TaskSpec, Workload};
 
@@ -20,18 +20,30 @@ use crate::{baseline_symbolic_cost, end_to_end_cost, neural_cost, Platform, Task
 /// Fig. 2: scaling performance (accuracy vs model size; runtime vs task
 /// complexity).
 pub fn fig2() -> String {
-    let mut out = String::from("=== Fig. 2(a-c): accuracy vs model size (C = compositional, M = monolithic) ===\n");
-    for family in [TaskFamily::ComplexReasoning, TaskFamily::MathReasoning, TaskFamily::QuestionAnswering] {
+    let mut out = String::from(
+        "=== Fig. 2(a-c): accuracy vs model size (C = compositional, M = monolithic) ===\n",
+    );
+    for family in
+        [TaskFamily::ComplexReasoning, TaskFamily::MathReasoning, TaskFamily::QuestionAnswering]
+    {
         let _ = writeln!(out, "-- {} --", family.name());
         let _ = writeln!(out, "{:>6} {:>8} {:>8}", "model", "C (%)", "M (%)");
         for p in accuracy_scaling(family) {
-            let _ = writeln!(out, "{:>6} {:>8.1} {:>8.1}", p.model, p.compositional_pct, p.monolithic_pct);
+            let _ = writeln!(
+                out,
+                "{:>6} {:>8.1} {:>8.1}",
+                p.model, p.compositional_pct, p.monolithic_pct
+            );
         }
     }
     out.push_str("=== Fig. 2(d): task runtime vs complexity (minutes) ===\n");
     let _ = writeln!(out, "{:>10} {:>14} {:>10}", "complexity", "neuro-symb", "CoT-RL");
     for p in runtime_scaling(8) {
-        let _ = writeln!(out, "{:>10} {:>14.2} {:>10.2}", p.complexity, p.neuro_symbolic_min, p.cot_min);
+        let _ = writeln!(
+            out,
+            "{:>10} {:>14.2} {:>10.2}",
+            p.complexity, p.neuro_symbolic_min, p.cot_min
+        );
     }
     out
 }
@@ -39,10 +51,18 @@ pub fn fig2() -> String {
 /// Fig. 3(a): neural vs symbolic runtime split per workload on the
 /// CPU+GPU platform.
 pub fn fig3a() -> String {
-    let mut out = String::from("=== Fig. 3(a): runtime split, neural vs symbolic (A6000 platform) ===\n");
-    let _ = writeln!(out, "{:>14} {:>10} {:>12} {:>12} {:>12}", "workload", "neural %", "symbolic %", "neural s", "symbolic s");
+    let mut out =
+        String::from("=== Fig. 3(a): runtime split, neural vs symbolic (A6000 platform) ===\n");
+    let _ = writeln!(
+        out,
+        "{:>14} {:>10} {:>12} {:>12} {:>12}",
+        "workload", "neural %", "symbolic %", "neural s", "symbolic s"
+    );
     for w in Workload::all() {
-        let dataset = Dataset::all().into_iter().find(|d| d.workload() == w).expect("every workload has a dataset");
+        let dataset = Dataset::all()
+            .into_iter()
+            .find(|d| d.workload() == w)
+            .expect("every workload has a dataset");
         let spec = TaskSpec::new(dataset, Scale::Small, 0);
         let n = neural_cost(Platform::RtxA6000, &spec);
         let s = baseline_symbolic_cost(Platform::RtxA6000, &spec);
@@ -57,14 +77,18 @@ pub fn fig3a() -> String {
             s.seconds
         );
     }
-    out.push_str("(paper: symbolic share 63.8/62.7/36.6/63.9/50.5/34.8% across the six workloads)\n");
+    out.push_str(
+        "(paper: symbolic share 63.8/62.7/36.6/63.9/50.5/34.8% across the six workloads)\n",
+    );
     out
 }
 
 /// Fig. 3(b): runtime across task scales.
 pub fn fig3b() -> String {
-    let mut out = String::from("=== Fig. 3(b): runtime vs task scale (A6000 platform, s/task) ===\n");
-    let _ = writeln!(out, "{:>10} {:>10} {:>12} {:>12}", "dataset", "scale", "neural s", "symbolic s");
+    let mut out =
+        String::from("=== Fig. 3(b): runtime vs task scale (A6000 platform, s/task) ===\n");
+    let _ =
+        writeln!(out, "{:>10} {:>10} {:>12} {:>12}", "dataset", "scale", "neural s", "symbolic s");
     for dataset in Dataset::all() {
         for scale in [Scale::Small, Scale::Large] {
             let spec = TaskSpec::new(dataset, scale, 0);
@@ -92,7 +116,14 @@ pub fn fig3c() -> String {
         let spec = TaskSpec::new(dataset, Scale::Small, 0);
         let a = baseline_symbolic_cost(Platform::RtxA6000, &spec);
         let o = baseline_symbolic_cost(Platform::OrinNx, &spec);
-        let _ = writeln!(out, "{:>10} {:>12.4} {:>12.4} {:>8.1}", dataset.name(), a.seconds, o.seconds, o.seconds / a.seconds);
+        let _ = writeln!(
+            out,
+            "{:>10} {:>12.4} {:>12.4} {:>8.1}",
+            dataset.name(),
+            a.seconds,
+            o.seconds,
+            o.seconds / a.seconds
+        );
     }
     out
 }
@@ -118,7 +149,9 @@ pub fn fig3d() -> String {
             if p.memory_bound { "memory" } else { "compute" }
         );
     }
-    out.push_str("(paper: symbolic/probabilistic kernels sit far left, under the bandwidth roof)\n");
+    out.push_str(
+        "(paper: symbolic/probabilistic kernels sit far left, under the bandwidth roof)\n",
+    );
     out
 }
 
@@ -146,7 +179,9 @@ pub fn table2() -> String {
             r.branch_efficiency_pct
         );
     }
-    out.push_str("(paper: MatMul 96.8/98.4, Logic 14.7/29.3 compute/ALU; symbolic kernels DRAM-bound)\n");
+    out.push_str(
+        "(paper: MatMul 96.8/98.4, Logic 14.7/29.3 compute/ALU; symbolic kernels DRAM-bound)\n",
+    );
     out
 }
 
@@ -155,7 +190,8 @@ pub fn table3() -> String {
     let mut out = String::from("=== Table III / Fig. 10: REASON physical design ===\n");
     let _ = writeln!(out, "{:>8} {:>10} {:>10}", "node", "area mm2", "power W");
     for tech in [TechNode::N28, TechNode::N12, TechNode::N8] {
-        let _ = writeln!(out, "{:>8?} {:>10.2} {:>10.2}", tech, tech.area_mm2(), tech.avg_power_w());
+        let _ =
+            writeln!(out, "{:>8?} {:>10.2} {:>10.2}", tech, tech.area_mm2(), tech.avg_power_w());
     }
     let c = ArchConfig::paper();
     let _ = writeln!(
@@ -189,9 +225,7 @@ pub fn table4(tasks_per_dataset: usize) -> String {
         let opt = batch_score(model.as_ref(), &specs, true);
         let bytes: Vec<(usize, usize)> = specs
             .iter()
-            .map(|s| {
-                (model.run_task(s, false).kernel_bytes, model.run_task(s, true).kernel_bytes)
-            })
+            .map(|s| (model.run_task(s, false).kernel_bytes, model.run_task(s, true).kernel_bytes))
             .collect();
         let before: usize = bytes.iter().map(|b| b.0).sum();
         let after: usize = bytes.iter().map(|b| b.1).sum();
@@ -208,7 +242,11 @@ pub fn table4(tasks_per_dataset: usize) -> String {
             reduction
         );
     }
-    let _ = writeln!(out, "average memory reduction: {:.1}% (paper: 31.7%)", total_reduction / rows as f64);
+    let _ = writeln!(
+        out,
+        "average memory reduction: {:.1}% (paper: 31.7%)",
+        total_reduction / rows as f64
+    );
     out
 }
 
@@ -216,7 +254,11 @@ pub fn table4(tasks_per_dataset: usize) -> String {
 pub fn fig8() -> String {
     let mut out = String::from("=== Fig. 8(a): latency breakdown as leaves grow (cycles) ===\n");
     let base = 8usize;
-    let _ = writeln!(out, "{:>6} {:>10} {:>8} {:>6} {:>8} {:>10} {:>8}", "N", "topology", "memory", "PE", "periph", "internode", "total");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>10} {:>8} {:>6} {:>8} {:>10} {:>8}",
+        "N", "topology", "memory", "PE", "periph", "internode", "total"
+    );
     for mult in 1..=8 {
         for topo in NocTopology::all() {
             let b = noc_latency_breakdown(topo, base * mult);
@@ -283,7 +325,9 @@ pub fn fig12(tasks: usize) -> String {
     let _ = writeln!(out, "{:>10} {:>10}", "dataset", "power W");
     let config = ArchConfig::paper();
     let model = reason_arch::EnergyModel::paper();
-    for dataset in [Dataset::TwinSafety, Dataset::XsTest, Dataset::CommonGen, Dataset::News, Dataset::AwA2] {
+    for dataset in
+        [Dataset::TwinSafety, Dataset::XsTest, Dataset::CommonGen, Dataset::News, Dataset::AwA2]
+    {
         // Sustained-array power: the busy-cycle event profile scaled by
         // the workload's achieved utilization (>90% per Sec. V-F, with
         // per-workload variation from its sparsity).
@@ -304,15 +348,19 @@ pub fn fig12(tasks: usize) -> String {
         let _ = writeln!(out, "{:>10} {:>10.2}", dataset.name(), report.avg_power_w);
     }
     out.push_str("(paper: 1.88-2.51 W, average 2.12 W)\n");
-    out.push_str("=== Fig. 12(b): reasoning-stage energy per task, normalized to REASON = 1.0 ===\n");
-    let _ = writeln!(out, "{:>10} {:>12} {:>10} {:>10} {:>14}", "dataset", "Xeon", "Orin NX", "RTX GPU", "REASON J/task");
+    out.push_str(
+        "=== Fig. 12(b): reasoning-stage energy per task, normalized to REASON = 1.0 ===\n",
+    );
+    let _ = writeln!(
+        out,
+        "{:>10} {:>12} {:>10} {:>10} {:>14}",
+        "dataset", "Xeon", "Orin NX", "RTX GPU", "REASON J/task"
+    );
     let _ = tasks;
     for dataset in Dataset::all() {
         let spec = TaskSpec::new(dataset, Scale::Small, 0);
-        let costs: Vec<TaskCost> = Platform::all()
-            .iter()
-            .map(|&p| crate::baseline_symbolic_cost(p, &spec))
-            .collect();
+        let costs: Vec<TaskCost> =
+            Platform::all().iter().map(|&p| crate::baseline_symbolic_cost(p, &spec)).collect();
         let reason_j = costs[3].energy_j;
         let _ = writeln!(
             out,
@@ -330,7 +378,8 @@ pub fn fig12(tasks: usize) -> String {
 
 /// Fig. 13: comparison against ML accelerators.
 pub fn fig13() -> String {
-    let mut out = String::from("=== Fig. 13: vs TPU-like and DPU-like (runtime normalized to REASON) ===\n");
+    let mut out =
+        String::from("=== Fig. 13: vs TPU-like and DPU-like (runtime normalized to REASON) ===\n");
     let tpu = TpuModel::paper();
     let dpu = DpuModel::paper();
     let config = ArchConfig::paper();
@@ -340,7 +389,8 @@ pub fn fig13() -> String {
         "workload", "symbolic (TPU/DPU)", "neural (TPU/DPU)", "end-to-end (TPU/DPU)"
     );
     for w in Workload::all() {
-        let dataset = Dataset::all().into_iter().find(|d| d.workload() == w).expect("dataset exists");
+        let dataset =
+            Dataset::all().into_iter().find(|d| d.workload() == w).expect("dataset exists");
         let spec = TaskSpec::new(dataset, Scale::Small, 0);
         let profiles = model_for(w).kernel_profiles(&spec);
         let steps = w.reasoning_steps() as f64;
@@ -353,7 +403,8 @@ pub fn fig13() -> String {
         // launch/fill-drain-limited small-tile throughput (a 128x128 tile
         // barely wets a 128x128x8 array).
         let neural = KernelProfile::matmul(128 * spec.scale.factor());
-        let reason_neural = neural.flops / (2.0 * config.total_nodes() as f64 * config.freq_mhz as f64 * 1e6 * 0.8);
+        let reason_neural =
+            neural.flops / (2.0 * config.total_nodes() as f64 * config.freq_mhz as f64 * 1e6 * 0.8);
         let tpu_neural = neural.flops / (2.0 * tpu.peak_macs() * 4e-4);
         let dpu_neural = dpu.run(&neural).seconds;
         // End to end: neural + symbolic serial on accelerators.
@@ -384,7 +435,9 @@ pub fn table5(tasks: usize) -> String {
         "{:>10} {:>16} {:>20} {:>22}",
         "dataset", "baseline @Orin", "REASON-algo @Orin", "REASON-algo @REASON"
     );
-    for dataset in [Dataset::Imo, Dataset::MiniF2F, Dataset::TwinSafety, Dataset::XsTest, Dataset::CommonGen] {
+    for dataset in
+        [Dataset::Imo, Dataset::MiniF2F, Dataset::TwinSafety, Dataset::XsTest, Dataset::CommonGen]
+    {
         let specs = TaskSpec::batch(dataset, Scale::Small, tasks);
         let model = model_for(dataset.workload());
         // Memory reduction drives the algorithm-level op reduction.
@@ -448,33 +501,65 @@ pub fn ablation() -> String {
     no_sched.ablation.scheduling = false;
     let mut no_reconf = full;
     no_reconf.ablation.reconfigurable = false;
-    for (name, cfg) in [("full configuration", full), ("w/o scheduling", no_sched), ("w/o reconfigurable array", no_reconf)] {
+    for (name, cfg) in [
+        ("full configuration", full),
+        ("w/o scheduling", no_sched),
+        ("w/o reconfigurable array", no_reconf),
+    ] {
         let compiled = ReasonCompiler::new(cfg).compile(&kernel.dag).expect("maps");
         let exec = VliwExecutor::new(cfg);
         let report = exec.execute(&compiled.program(&vec![1.0; compiled.num_inputs()]));
         let _ = writeln!(out, "{name:<26} {:>10} cycles (DAG mode)", report.cycles);
     }
-    out.push_str("(paper: memory layout ~22%, reconfig+scheduling up to 56-73% runtime reduction)\n");
+    out.push_str(
+        "(paper: memory layout ~22%, reconfig+scheduling up to 56-73% runtime reduction)\n",
+    );
     out
 }
 
 /// Fig. 9 case study: a working example of symbolic execution — one
 /// small SAT instance narrated through the hardware pipeline events.
 pub fn fig9() -> String {
-    let mut out = String::from("=== Fig. 9 case study: symbolic execution on the BCP pipeline ===\n");
+    let mut out =
+        String::from("=== Fig. 9 case study: symbolic execution on the BCP pipeline ===\n");
     let config = ArchConfig::paper();
     let cnf = reason_sat::gen::random_ksat(16, 68, 3, 4);
     let engine = SymbolicEngine::new(config);
     let (solution, r) = engine.solve(&cnf);
-    let _ = writeln!(out, "instance: 16 vars, 68 clauses -> {}", if solution.is_sat() { "SAT" } else { "UNSAT" });
-    let _ = writeln!(out, "decisions broadcast through the tree ({} cycles root->leaf): {}",
-        config.tree_depth, r.decisions);
-    let _ = writeln!(out, "implications pipelined through the reduction tree:        {}", r.implications);
-    let _ = writeln!(out, "watched-literal SRAM reads (linked-list traversals):      {}", r.wl_sram_reads);
-    let _ = writeln!(out, "conflicts (priority propagation + FIFO flush):            {}", r.conflicts);
-    let _ = writeln!(out, "learned clauses recorded by the scalar PE:                {}", r.learned);
-    let _ = writeln!(out, "BCP FIFO high-water mark:                                 {}", r.fifo_max_occupancy);
-    let _ = writeln!(out, "DMA fetches for clause-database misses:                   {}", r.dma_fetches);
+    let _ = writeln!(
+        out,
+        "instance: 16 vars, 68 clauses -> {}",
+        if solution.is_sat() { "SAT" } else { "UNSAT" }
+    );
+    let _ = writeln!(
+        out,
+        "decisions broadcast through the tree ({} cycles root->leaf): {}",
+        config.tree_depth, r.decisions
+    );
+    let _ = writeln!(
+        out,
+        "implications pipelined through the reduction tree:        {}",
+        r.implications
+    );
+    let _ = writeln!(
+        out,
+        "watched-literal SRAM reads (linked-list traversals):      {}",
+        r.wl_sram_reads
+    );
+    let _ =
+        writeln!(out, "conflicts (priority propagation + FIFO flush):            {}", r.conflicts);
+    let _ =
+        writeln!(out, "learned clauses recorded by the scalar PE:                {}", r.learned);
+    let _ = writeln!(
+        out,
+        "BCP FIFO high-water mark:                                 {}",
+        r.fifo_max_occupancy
+    );
+    let _ = writeln!(
+        out,
+        "DMA fetches for clause-database misses:                   {}",
+        r.dma_fetches
+    );
     let _ = writeln!(out, "total: {} cycles, {:.2} uJ", r.cycles, r.energy.total_j() * 1e6);
     out.push_str("(paper Fig. 9: decision broadcast T1-T4, pipelined implications, conflict at T22 flushing the FIFO and halting DMA)\n");
     out
@@ -495,19 +580,28 @@ pub fn dse() -> String {
         let kernel = pipeline.compile(KernelSource::Pc(&circuit)).expect("compiles");
         match ReasonCompiler::new(*cfg).compile(&kernel.dag) {
             Ok(compiled) => {
-                let report =
-                    VliwExecutor::new(*cfg).execute(&compiled.program(&vec![1.0; compiled.num_inputs()]));
+                let report = VliwExecutor::new(*cfg)
+                    .execute(&compiled.program(&vec![1.0; compiled.num_inputs()]));
                 (report.cycles, report.energy.total_j())
             }
             Err(_) => (u64::MAX / 2, f64::MAX / 2.0),
         }
     });
-    let _ = writeln!(out, "{:>4} {:>6} {:>4} {:>10} {:>14} {:>14}", "D", "B", "R", "cycles", "energy J", "EDP");
+    let _ = writeln!(
+        out,
+        "{:>4} {:>6} {:>4} {:>10} {:>14} {:>14}",
+        "D", "B", "R", "cycles", "energy J", "EDP"
+    );
     for p in points.iter().take(8) {
         let _ = writeln!(
             out,
             "{:>4} {:>6} {:>4} {:>10} {:>14.3e} {:>14.3e}",
-            p.tree_depth, p.num_banks, p.regs_per_bank, p.cycles, p.energy_j, p.edp()
+            p.tree_depth,
+            p.num_banks,
+            p.regs_per_bank,
+            p.cycles,
+            p.energy_j,
+            p.edp()
         );
     }
     let best = &points[0];

@@ -77,11 +77,7 @@ impl Platform {
 
 /// Total abstract operation count of a task's symbolic kernels.
 fn task_ops(spec: &TaskSpec) -> f64 {
-    model_for(spec.dataset.workload())
-        .kernel_profiles(spec)
-        .iter()
-        .map(|k| k.flops)
-        .sum()
+    model_for(spec.dataset.workload()).kernel_profiles(spec).iter().map(|k| k.flops).sum()
 }
 
 /// REASON-side cost of one task's symbolic stage: the representative
@@ -223,10 +219,8 @@ mod tests {
 
     #[test]
     fn end_to_end_ordering_matches_fig11() {
-        let costs: Vec<(Platform, TaskCost)> = Platform::all()
-            .into_iter()
-            .map(|p| (p, end_to_end_cost(p, Dataset::Imo, 3)))
-            .collect();
+        let costs: Vec<(Platform, TaskCost)> =
+            Platform::all().into_iter().map(|p| (p, end_to_end_cost(p, Dataset::Imo, 3))).collect();
         let reason = costs.iter().find(|(p, _)| *p == Platform::Reason).unwrap().1;
         let rtx = costs.iter().find(|(p, _)| *p == Platform::RtxA6000).unwrap().1;
         let orin = costs.iter().find(|(p, _)| *p == Platform::OrinNx).unwrap().1;

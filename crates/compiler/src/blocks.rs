@@ -77,7 +77,7 @@ pub fn decompose_blocks(dag: &Dag, max_depth: usize) -> BlockDecomposition {
         let mut depth = 1;
         for c in &node.children {
             let ci = c.index();
-            if is_compute(ci) && fan_out[ci] == 1 && fused_depth[ci] + 1 <= max_depth {
+            if is_compute(ci) && fan_out[ci] == 1 && fused_depth[ci] < max_depth {
                 // Tentatively fuse.
                 depth = depth.max(fused_depth[ci] + 1);
             }
@@ -86,7 +86,7 @@ pub fn decompose_blocks(dag: &Dag, max_depth: usize) -> BlockDecomposition {
         // Mark children that actually fused (same condition, now final).
         for c in &node.children {
             let ci = c.index();
-            if is_compute(ci) && fan_out[ci] == 1 && fused_depth[ci] + 1 <= max_depth {
+            if is_compute(ci) && fan_out[ci] == 1 && fused_depth[ci] < max_depth {
                 fuses_up[ci] = true;
             }
         }
@@ -104,6 +104,7 @@ pub fn decompose_blocks(dag: &Dag, max_depth: usize) -> BlockDecomposition {
         let mut operands: Vec<NodeId> = Vec::new();
         collect(dag, i, &fuses_up, &mut members, &mut operands);
         members.reverse(); // children-first
+
         // Deduplicate operands preserving order.
         let mut seen = std::collections::HashSet::new();
         operands.retain(|o| seen.insert(*o));
@@ -134,8 +135,8 @@ fn collect(
     members.push(NodeId::from_index(root));
     for c in &dag.nodes()[root].children {
         let ci = c.index();
-        let fused_member = fuses_up[ci]
-            && !matches!(dag.nodes()[ci].op, DagOp::Input(_) | DagOp::Const(_));
+        let fused_member =
+            fuses_up[ci] && !matches!(dag.nodes()[ci].op, DagOp::Input(_) | DagOp::Const(_));
         if fused_member {
             collect(dag, ci, fuses_up, members, operands);
         } else {

@@ -8,7 +8,9 @@
 
 use std::collections::HashMap;
 
-use reason_arch::{ArchConfig, BankAddr, BlockNode, BlockOperand, RegisterBanks, TreeOp, VliwInstr, VliwProgram};
+use reason_arch::{
+    ArchConfig, BankAddr, BlockNode, BlockOperand, RegisterBanks, TreeOp, VliwInstr, VliwProgram,
+};
 use reason_core::{Dag, DagOp, NodeId};
 
 use crate::blocks::BlockDecomposition;
@@ -137,9 +139,7 @@ pub fn emit_program(
             .operands
             .iter()
             .map(|op| {
-                *location
-                    .get(op)
-                    .unwrap_or_else(|| panic!("operand {op} not yet materialized"))
+                *location.get(op).unwrap_or_else(|| panic!("operand {op} not yet materialized"))
             })
             .collect();
         total_reads += reads.len();

@@ -59,7 +59,7 @@ use reason_arch::ArchConfig;
 use reason_core::Dag;
 
 pub use blocks::{decompose_blocks, Block, BlockDecomposition};
-pub use emit::{CompiledKernel, CompileReport};
+pub use emit::{CompileReport, CompiledKernel};
 pub use mapping::{assign_banks, BankAssignment};
 pub use schedule::schedule_blocks;
 
@@ -229,7 +229,12 @@ mod tests {
         let fast = VliwExecutor::new(config).execute(&sched.program(&inputs));
         let slow = VliwExecutor::new(no_sched).execute(&unsched.program(&inputs));
         assert_eq!(fast.output, slow.output);
-        assert!(fast.cycles < slow.cycles, "scheduling must reduce cycles: {} vs {}", fast.cycles, slow.cycles);
+        assert!(
+            fast.cycles < slow.cycles,
+            "scheduling must reduce cycles: {} vs {}",
+            fast.cycles,
+            slow.cycles
+        );
     }
 
     #[test]
@@ -243,7 +248,7 @@ mod tests {
         let dag = regularize(&dag);
         let mapped = ReasonCompiler::new(config).compile(&dag).unwrap();
         let unmapped = ReasonCompiler::new(no_map).compile(&dag).unwrap();
-        let inputs = map.inputs_for_evidence(circuit.arities(), &vec![None; 8]);
+        let inputs = map.inputs_for_evidence(circuit.arities(), &[None; 8]);
         let good = VliwExecutor::new(config).execute(&mapped.program(&inputs));
         let bad = VliwExecutor::new(no_map).execute(&unmapped.program(&inputs));
         assert!((good.output - bad.output).abs() < 1e-12);

@@ -187,7 +187,7 @@ mod tests {
             d.blocks
                 .iter()
                 .map(|blk| {
-                    let mut per_bank = vec![0usize; 8];
+                    let mut per_bank = [0usize; 8];
                     for op in &blk.operands {
                         per_bank[a.bank_of(*op)] += 1;
                     }

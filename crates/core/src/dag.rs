@@ -231,11 +231,9 @@ impl Dag {
                 DagOp::Const(c) => c,
                 DagOp::Add => node.children.iter().map(|c| vals[c.index()]).sum(),
                 DagOp::Mul => node.children.iter().map(|c| vals[c.index()]).product(),
-                DagOp::Max => node
-                    .children
-                    .iter()
-                    .map(|c| vals[c.index()])
-                    .fold(f64::NEG_INFINITY, f64::max),
+                DagOp::Max => {
+                    node.children.iter().map(|c| vals[c.index()]).fold(f64::NEG_INFINITY, f64::max)
+                }
                 DagOp::Not => 1.0 - vals[node.children[0].index()],
             };
         }
@@ -514,10 +512,7 @@ mod tests {
         let (compacted, dropped) = dag.compact();
         assert_eq!(dropped, 1);
         assert_eq!(compacted.num_nodes(), 2);
-        assert_eq!(
-            compacted.evaluate_output(&[0.0]),
-            dag.evaluate_output(&[0.0])
-        );
+        assert_eq!(compacted.evaluate_output(&[0.0]), dag.evaluate_output(&[0.0]));
     }
 
     #[test]
@@ -525,7 +520,11 @@ mod tests {
         // Manual construction of an invalid DAG through the builder is
         // prevented by panics; test the validator directly.
         let dag = Dag {
-            nodes: vec![DagNode { op: DagOp::Add, children: vec![NodeId::new(0)], kind: NodeKind::Generic }],
+            nodes: vec![DagNode {
+                op: DagOp::Add,
+                children: vec![NodeId::new(0)],
+                kind: NodeKind::Generic,
+            }],
             output: NodeId::new(0),
             num_inputs: 0,
         };

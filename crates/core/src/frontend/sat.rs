@@ -85,7 +85,11 @@ mod tests {
         for bits in 0..8u32 {
             let model: Vec<bool> = (0..3).map(|v| bits >> v & 1 == 1).collect();
             let expect = if cnf.eval(&model) { 1.0 } else { 0.0 };
-            assert_eq!(dag.evaluate_output(&assignment_to_inputs(&model)), expect, "bits {bits:03b}");
+            assert_eq!(
+                dag.evaluate_output(&assignment_to_inputs(&model)),
+                expect,
+                "bits {bits:03b}"
+            );
         }
     }
 

@@ -295,7 +295,11 @@ mod tests {
         let data: Vec<Vec<usize>> =
             (0..50).map(|_| (0..8).map(|_| usize::from(rng.gen_bool(0.85))).collect()).collect();
         let kernel = ReasonPipeline::new()
-            .compile(KernelSource::PcWithData { circuit: &circuit, data: &data, prune_fraction: 0.3 })
+            .compile(KernelSource::PcWithData {
+                circuit: &circuit,
+                data: &data,
+                prune_fraction: 0.3,
+            })
             .unwrap();
         assert_eq!(kernel.kind, KernelKind::Probabilistic);
         assert!(kernel.stats.memory_reduction() > 0.0);
@@ -316,8 +320,7 @@ mod tests {
     fn disabled_stages_are_skipped() {
         let cnf = random_ksat(10, 40, 3, 2);
         let config = PipelineConfig { prune: false, regularize: false };
-        let kernel =
-            ReasonPipeline::with_config(config).compile(KernelSource::Sat(&cnf)).unwrap();
+        let kernel = ReasonPipeline::with_config(config).compile(KernelSource::Sat(&cnf)).unwrap();
         // Without regularization, clause fan-in of 3 remains.
         assert!(kernel.dag.max_fan_in() >= 3);
         assert_eq!(kernel.stats.prune, UnifiedPruneReport::default());

@@ -291,10 +291,10 @@ impl Interpretation {
         match formula {
             Formula::Atom(a) => {
                 let vals: Vec<usize> = a.args.iter().map(|t| self.eval_term(t, env)).collect();
-                let table = self
-                    .predicates
-                    .get(&(a.pred.clone(), a.args.len()))
-                    .unwrap_or_else(|| panic!("no table for predicate {}/{}", a.pred, a.args.len()));
+                let table =
+                    self.predicates.get(&(a.pred.clone(), a.args.len())).unwrap_or_else(|| {
+                        panic!("no table for predicate {}/{}", a.pred, a.args.len())
+                    });
                 table[self.tuple_index(&vals)]
             }
             Formula::Not(x) => !self.eval(x, env),
@@ -386,14 +386,8 @@ mod tests {
             Formula::atom("p", vec![Term::app("f", vec![Term::constant("a")])]),
             Formula::atom("q", vec![]),
         );
-        assert_eq!(
-            f.predicates(),
-            BTreeSet::from([("p".to_string(), 1), ("q".to_string(), 0)])
-        );
-        assert_eq!(
-            f.functions(),
-            BTreeSet::from([("f".to_string(), 1), ("a".to_string(), 0)])
-        );
+        assert_eq!(f.predicates(), BTreeSet::from([("p".to_string(), 1), ("q".to_string(), 0)]));
+        assert_eq!(f.functions(), BTreeSet::from([("f".to_string(), 1), ("a".to_string(), 0)]));
     }
 
     #[test]

@@ -175,11 +175,8 @@ mod tests {
     #[test]
     fn socrates_by_grounding() {
         // Axioms + negated goal must be UNSAT after grounding.
-        let clauses = clauses_of(&[
-            "forall X. (man(X) -> mortal(X))",
-            "man(socrates)",
-            "~mortal(socrates)",
-        ]);
+        let clauses =
+            clauses_of(&["forall X. (man(X) -> mortal(X))", "man(socrates)", "~mortal(socrates)"]);
         let g = ground_clauses(&clauses, &[]).unwrap();
         assert!(!CdclSolver::new(&g.cnf).solve().is_sat());
     }
@@ -224,10 +221,7 @@ mod tests {
     #[test]
     fn function_symbols_are_rejected() {
         let clauses = clauses_of(&["p(f(a))"]);
-        assert!(matches!(
-            ground_clauses(&clauses, &[]),
-            Err(GroundError::FunctionSymbol { .. })
-        ));
+        assert!(matches!(ground_clauses(&clauses, &[]), Err(GroundError::FunctionSymbol { .. })));
     }
 
     #[test]

@@ -358,9 +358,7 @@ impl Parser {
                     Ok(Term::constant(name))
                 }
             }
-            Some(t) => {
-                Err(ParseError { message: "expected a term".into(), position: t.position })
-            }
+            Some(t) => Err(ParseError { message: "expected a term".into(), position: t.position }),
             None => Err(ParseError { message: "expected a term".into(), position: usize::MAX }),
         }
     }
@@ -373,12 +371,13 @@ mod tests {
     #[test]
     fn parses_the_paper_example() {
         // "Every student has a mentor" (paper Sec. II-C).
-        let f = parse_formula(
-            "forall X. (student(X) -> exists Y. (mentor(Y) & has_mentor(X, Y)))",
-        )
-        .unwrap();
+        let f = parse_formula("forall X. (student(X) -> exists Y. (mentor(Y) & has_mentor(X, Y)))")
+            .unwrap();
         assert!(f.free_vars().is_empty());
-        assert_eq!(format!("{f}"), "forall X. (student(X) -> exists Y. (mentor(Y) & has_mentor(X, Y)))");
+        assert_eq!(
+            format!("{f}"),
+            "forall X. (student(X) -> exists Y. (mentor(Y) & has_mentor(X, Y)))"
+        );
     }
 
     #[test]

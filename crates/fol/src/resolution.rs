@@ -131,11 +131,7 @@ impl FolClause {
         if self.lits.len() > other.lits.len() {
             return false;
         }
-        fn matches(
-            pattern: &Term,
-            target: &Term,
-            binding: &mut HashMap<String, Term>,
-        ) -> bool {
+        fn matches(pattern: &Term, target: &Term, binding: &mut HashMap<String, Term>) -> bool {
             match (pattern, target) {
                 (Term::Var(v), t) => match binding.get(v) {
                     Some(bound) => bound == t,
@@ -152,11 +148,7 @@ impl FolClause {
                 _ => false,
             }
         }
-        fn go(
-            pattern: &[FolLit],
-            target: &[FolLit],
-            binding: &mut HashMap<String, Term>,
-        ) -> bool {
+        fn go(pattern: &[FolLit], target: &[FolLit], binding: &mut HashMap<String, Term>) -> bool {
             let Some(first) = pattern.first() else { return true };
             for t in target {
                 if t.positive != first.positive || t.atom.pred != first.atom.pred {
@@ -166,12 +158,7 @@ impl FolClause {
                     continue;
                 }
                 let snapshot = binding.clone();
-                if first
-                    .atom
-                    .args
-                    .iter()
-                    .zip(&t.atom.args)
-                    .all(|(p, g)| matches(p, g, binding))
+                if first.atom.args.iter().zip(&t.atom.args).all(|(p, g)| matches(p, g, binding))
                     && go(&pattern[1..], target, binding)
                 {
                     return true;
@@ -283,10 +270,7 @@ pub fn refute(clauses: &[FolClause], max_steps: usize) -> ProofResult {
 }
 
 fn pick_lightest(sos: &[FolClause]) -> Option<usize> {
-    sos.iter()
-        .enumerate()
-        .min_by_key(|(_, c)| c.weight())
-        .map(|(i, _)| i)
+    sos.iter().enumerate().min_by_key(|(_, c)| c.weight()).map(|(i, _)| i)
 }
 
 /// All binary resolvents of two clauses (assumed standardized apart).
@@ -324,8 +308,13 @@ fn factors(c: &FolClause) -> Vec<FolClause> {
                 continue;
             }
             let Some(subst) = unify_atoms(&c.lits[i].atom, &c.lits[j].atom) else { continue };
-            let lits: Vec<FolLit> =
-                c.lits.iter().enumerate().filter(|&(k, _)| k != j).map(|(_, l)| l.substitute(&subst)).collect();
+            let lits: Vec<FolLit> = c
+                .lits
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| k != j)
+                .map(|(_, l)| l.substitute(&subst))
+                .collect();
             out.push(FolClause::new(lits));
         }
     }
@@ -395,10 +384,8 @@ mod tests {
         assert!(p_x.subsumes(&p_a_or_q));
         assert!(!p_a_or_q.subsumes(&p_x));
         // Consistency: p(X, X) does not subsume p(a, b).
-        let pxx = FolClause::new(vec![FolLit::pos(Atom::new(
-            "p",
-            vec![Term::var("X"), Term::var("X")],
-        ))]);
+        let pxx =
+            FolClause::new(vec![FolLit::pos(Atom::new("p", vec![Term::var("X"), Term::var("X")]))]);
         let pab = FolClause::new(vec![FolLit::pos(Atom::new(
             "p",
             vec![Term::constant("a"), Term::constant("b")],

@@ -125,7 +125,10 @@ impl Atom {
 
     /// Applies a substitution to all arguments.
     pub fn substitute(&self, subst: &HashMap<String, Term>) -> Atom {
-        Atom { pred: self.pred.clone(), args: self.args.iter().map(|a| a.substitute(subst)).collect() }
+        Atom {
+            pred: self.pred.clone(),
+            args: self.args.iter().map(|a| a.substitute(subst)).collect(),
+        }
     }
 
     /// `true` when the atom contains no variables.

@@ -25,10 +25,9 @@ pub fn to_nnf(f: &Formula) -> Formula {
             Formula::And(a, b) => Formula::and(pos(a), pos(b)),
             Formula::Or(a, b) => Formula::or(pos(a), pos(b)),
             Formula::Implies(a, b) => Formula::or(neg(a), pos(b)),
-            Formula::Iff(a, b) => Formula::and(
-                Formula::or(neg(a), pos(b)),
-                Formula::or(neg(b), pos(a)),
-            ),
+            Formula::Iff(a, b) => {
+                Formula::and(Formula::or(neg(a), pos(b)), Formula::or(neg(b), pos(a)))
+            }
             Formula::Forall(v, x) => Formula::forall(v.clone(), pos(x)),
             Formula::Exists(v, x) => Formula::exists(v.clone(), pos(x)),
         }
@@ -40,10 +39,9 @@ pub fn to_nnf(f: &Formula) -> Formula {
             Formula::And(a, b) => Formula::or(neg(a), neg(b)),
             Formula::Or(a, b) => Formula::and(neg(a), neg(b)),
             Formula::Implies(a, b) => Formula::and(pos(a), neg(b)),
-            Formula::Iff(a, b) => Formula::or(
-                Formula::and(pos(a), neg(b)),
-                Formula::and(pos(b), neg(a)),
-            ),
+            Formula::Iff(a, b) => {
+                Formula::or(Formula::and(pos(a), neg(b)), Formula::and(pos(b), neg(a)))
+            }
             Formula::Forall(v, x) => Formula::exists(v.clone(), neg(x)),
             Formula::Exists(v, x) => Formula::forall(v.clone(), neg(x)),
         }
@@ -323,9 +321,7 @@ mod tests {
                 Formula::Forall(_, _) | Formula::Exists(_, _) => false,
                 Formula::Atom(_) => true,
                 Formula::Not(x) => quantifier_free(x),
-                Formula::And(a, b) | Formula::Or(a, b) => {
-                    quantifier_free(a) && quantifier_free(b)
-                }
+                Formula::And(a, b) | Formula::Or(a, b) => quantifier_free(a) && quantifier_free(b),
                 Formula::Implies(a, b) | Formula::Iff(a, b) => {
                     quantifier_free(a) && quantifier_free(b)
                 }

@@ -80,7 +80,9 @@ fn unify_into(a: &Term, b: &Term, subst: &mut Substitution) -> bool {
             true
         }
         (Term::App(f, fa), Term::App(g, ga)) => {
-            f == g && fa.len() == ga.len() && fa.iter().zip(ga).all(|(x, y)| unify_into(x, y, subst))
+            f == g
+                && fa.len() == ga.len()
+                && fa.iter().zip(ga).all(|(x, y)| unify_into(x, y, subst))
         }
     }
 }

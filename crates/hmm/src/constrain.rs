@@ -338,11 +338,7 @@ mod tests {
         let hmm = toy();
         let keep = Dfa::avoids_symbol(1, 3);
         // Complement DFA: same transitions, flipped acceptance.
-        let complement = Dfa::new(
-            0,
-            vec![vec![0, 1, 0], vec![1, 1, 1]],
-            vec![false, true],
-        );
+        let complement = Dfa::new(0, vec![vec![0, 1, 0], vec![1, 1, 1]], vec![false, true]);
         let len = 3;
         let a = hmm.constrained_log_probability(&keep, len).exp();
         let b = hmm.constrained_log_probability(&complement, len).exp();

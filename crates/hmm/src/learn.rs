@@ -1,6 +1,6 @@
 //! Baum–Welch (EM) parameter learning.
 
-use crate::{Hmm, log_sum_exp};
+use crate::{log_sum_exp, Hmm};
 
 /// Outcome of Baum–Welch training.
 #[derive(Debug, Clone, PartialEq)]

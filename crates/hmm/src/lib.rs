@@ -194,9 +194,8 @@ impl Hmm {
     /// transition/emission/init entry) — the Table IV memory metric for
     /// sequential workloads.
     pub fn footprint_bytes(&self) -> usize {
-        let active = |rows: &[Vec<f64>]| {
-            rows.iter().flatten().filter(|&&lp| lp > f64::NEG_INFINITY).count()
-        };
+        let active =
+            |rows: &[Vec<f64>]| rows.iter().flatten().filter(|&&lp| lp > f64::NEG_INFINITY).count();
         8 * (self.log_init.len() + active(&self.log_trans) + active(&self.log_emit))
     }
 }

@@ -75,9 +75,7 @@ mod tests {
         .unwrap();
         let mut rng = StdRng::seed_from_u64(42);
         let n = 10_000;
-        let hits = (0..n)
-            .filter(|_| sample_sequence(&hmm, 1, &mut rng).states[0] == 0)
-            .count();
+        let hits = (0..n).filter(|_| sample_sequence(&hmm, 1, &mut rng).states[0] == 0).count();
         let freq = hits as f64 / n as f64;
         assert!((freq - 0.8).abs() < 0.02, "freq {freq}");
     }

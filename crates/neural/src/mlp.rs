@@ -111,10 +111,7 @@ impl Mlp {
 
     /// Total parameter count.
     pub fn num_params(&self) -> usize {
-        self.layers
-            .iter()
-            .map(|l| l.weight.rows() * l.weight.cols() + l.bias.len())
-            .sum()
+        self.layers.iter().map(|l| l.weight.rows() * l.weight.cols() + l.bias.len()).sum()
     }
 
     /// FLOPs for a forward pass with the given batch size.

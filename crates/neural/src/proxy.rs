@@ -121,7 +121,10 @@ mod tests {
         // A6000-like: 38 TFLOPs fp16-ish, 768 GB/s.
         let c = m.cost(128, 128, 38e12, 768e9);
         let memory_time = m.bytes(128) / 768e9;
-        assert!((c.seconds - memory_time).abs() / memory_time < 1e-9, "decode should be bandwidth-bound");
+        assert!(
+            (c.seconds - memory_time).abs() / memory_time < 1e-9,
+            "decode should be bandwidth-bound"
+        );
     }
 
     #[test]

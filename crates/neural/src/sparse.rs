@@ -53,7 +53,11 @@ impl CsrMatrix {
     ) -> Self {
         assert_eq!(row_ptr.len(), rows + 1, "row_ptr length mismatch");
         assert_eq!(col_idx.len(), values.len(), "col/value length mismatch");
-        assert_eq!(*row_ptr.last().expect("non-empty row_ptr"), values.len(), "row_ptr end mismatch");
+        assert_eq!(
+            *row_ptr.last().expect("non-empty row_ptr"),
+            values.len(),
+            "row_ptr end mismatch"
+        );
         assert!(col_idx.iter().all(|&c| c < cols), "column index out of range");
         CsrMatrix { rows, cols, row_ptr, col_idx, values }
     }
@@ -122,9 +126,7 @@ impl CsrMatrix {
     /// Panics if `x.len() != self.cols`.
     pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.cols, "vector length mismatch");
-        (0..self.rows)
-            .map(|r| self.row(r).map(|(c, v)| v * x[c]).sum())
-            .collect()
+        (0..self.rows).map(|r| self.row(r).map(|(c, v)| v * x[c]).sum()).collect()
     }
 
     /// Gustavson row-wise sparse-sparse matrix multiplication.
@@ -208,10 +210,7 @@ mod tests {
         let dense = a.to_dense().matmul(&b.to_dense());
         for r in 0..6 {
             for c in 0..5 {
-                assert!(
-                    (sparse.at(r, c) - dense.at(r, c)).abs() < 1e-4,
-                    "mismatch at ({r},{c})"
-                );
+                assert!((sparse.at(r, c) - dense.at(r, c)).abs() < 1e-4, "mismatch at ({r},{c})");
             }
         }
     }

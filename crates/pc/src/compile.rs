@@ -316,7 +316,7 @@ mod tests {
         // Chain formula has massive cofactor sharing: circuit stays small.
         let mut clauses = Vec::new();
         for i in 1..12 {
-            clauses.push(vec![-(i as i32), i as i32 + 1]);
+            clauses.push(vec![-i, i + 1]);
         }
         let cnf = Cnf::from_clauses(12, clauses);
         let c = compile_cnf(&cnf, &WmcWeights::uniform(12)).unwrap();

@@ -20,9 +20,7 @@ pub struct EdgeFlows {
 
 impl EdgeFlows {
     fn zeros(circuit: &Circuit) -> Self {
-        EdgeFlows {
-            flows: circuit.nodes().iter().map(|n| vec![0.0; n.children().len()]).collect(),
-        }
+        EdgeFlows { flows: circuit.nodes().iter().map(|n| vec![0.0; n.children().len()]).collect() }
     }
 
     /// The flow through child `k` of sum node `n`.
@@ -51,10 +49,13 @@ impl EdgeFlows {
     ) -> impl Iterator<Item = (NodeId, usize, f64)> + 'a {
         circuit.nodes().iter().enumerate().flat_map(move |(i, node)| {
             let is_sum = node.is_sum();
-            self.flows[i]
-                .iter()
-                .enumerate()
-                .filter_map(move |(k, &f)| if is_sum { Some((NodeId(i as u32), k, f)) } else { None })
+            self.flows[i].iter().enumerate().filter_map(move |(k, &f)| {
+                if is_sum {
+                    Some((NodeId(i as u32), k, f))
+                } else {
+                    None
+                }
+            })
         })
     }
 }

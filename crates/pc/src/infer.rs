@@ -94,16 +94,11 @@ impl Circuit {
                     Some(v) => log_probs[v],
                     None => 0.0, // distributions sum to 1
                 },
-                PcNode::Product { children } => {
-                    children.iter().map(|c| vals[c.index()]).sum()
-                }
+                PcNode::Product { children } => children.iter().map(|c| vals[c.index()]).sum(),
                 PcNode::Sum { children, log_weights } => {
                     buf.clear();
                     buf.extend(
-                        children
-                            .iter()
-                            .zip(log_weights)
-                            .map(|(c, lw)| lw + vals[c.index()]),
+                        children.iter().zip(log_weights).map(|(c, lw)| lw + vals[c.index()]),
                     );
                     log_sum_exp(&buf)
                 }
@@ -207,9 +202,8 @@ impl Circuit {
             }
         }
         // Downward trace selecting one child per sum.
-        let mut assignment: Vec<usize> = (0..self.num_vars())
-            .map(|v| evidence.value(v).unwrap_or(0))
-            .collect();
+        let mut assignment: Vec<usize> =
+            (0..self.num_vars()).map(|v| evidence.value(v).unwrap_or(0)).collect();
         let mut stack: Vec<NodeId> = vec![self.root()];
         while let Some(id) = stack.pop() {
             match self.node(id) {
@@ -220,17 +214,18 @@ impl Circuit {
                 }
                 PcNode::Categorical { var, log_probs } => {
                     if evidence.value(*var).is_none() {
-                        let best = log_probs
-                            .iter()
-                            .enumerate()
-                            .fold((0, f64::NEG_INFINITY), |acc, (k, &lp)| {
-                                if lp > acc.1 {
-                                    (k, lp)
-                                } else {
-                                    acc
-                                }
-                            })
-                            .0;
+                        let best =
+                            log_probs
+                                .iter()
+                                .enumerate()
+                                .fold((0, f64::NEG_INFINITY), |acc, (k, &lp)| {
+                                    if lp > acc.1 {
+                                        (k, lp)
+                                    } else {
+                                        acc
+                                    }
+                                })
+                                .0;
                         assignment[*var] = best;
                     }
                 }

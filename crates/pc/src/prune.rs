@@ -138,9 +138,7 @@ mod tests {
     fn skewed_data(num_vars: usize, n: usize, seed: u64) -> Vec<Vec<usize>> {
         // Mostly-ones data concentrates flow on few paths.
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n)
-            .map(|_| (0..num_vars).map(|_| usize::from(rng.gen_bool(0.9))).collect())
-            .collect()
+        (0..n).map(|_| (0..num_vars).map(|_| usize::from(rng.gen_bool(0.9))).collect()).collect()
     }
 
     #[test]

@@ -168,7 +168,11 @@ impl VarHeap {
                 break;
             }
             let r = l + 1;
-            let c = if r < n && act[self.heap[r] as usize] > act[self.heap[l] as usize] { r } else { l };
+            let c = if r < n && act[self.heap[r] as usize] > act[self.heap[l] as usize] {
+                r
+            } else {
+                l
+            };
             if act[self.heap[c] as usize] <= act[x as usize] {
                 break;
             }
@@ -330,7 +334,13 @@ impl CdclSolver {
                 let cref = self.clauses.len() as ClauseRef;
                 self.watches[(!lits[0]).code()].push(Watcher { cref, blocker: lits[1] });
                 self.watches[(!lits[1]).code()].push(Watcher { cref, blocker: lits[0] });
-                self.clauses.push(ClauseData { lits, learnt, deleted: false, lbd: 0, activity: 0.0 });
+                self.clauses.push(ClauseData {
+                    lits,
+                    learnt,
+                    deleted: false,
+                    lbd: 0,
+                    activity: 0.0,
+                });
                 Some(cref)
             }
         }
@@ -499,10 +509,11 @@ impl CdclSolver {
                 }
                 match self.reason[l.var().index()] {
                     None => true,
-                    Some(r) => self.clauses[r as usize]
-                        .lits
-                        .iter()
-                        .any(|&q| q.var() != l.var() && !self.seen[q.var().index()] && self.level[q.var().index()] > 0),
+                    Some(r) => self.clauses[r as usize].lits.iter().any(|&q| {
+                        q.var() != l.var()
+                            && !self.seen[q.var().index()]
+                            && self.level[q.var().index()] > 0
+                    }),
                 }
             })
             .collect();
@@ -669,7 +680,9 @@ impl CdclSolver {
             match self.search(budget, obs, assumptions) {
                 SearchResult::Sat => {
                     let model = (0..self.num_vars)
-                        .map(|v| self.assign[v] == 1 || (self.assign[v] == LBOOL_UNDEF && self.phase[v]))
+                        .map(|v| {
+                            self.assign[v] == 1 || (self.assign[v] == LBOOL_UNDEF && self.phase[v])
+                        })
                         .collect();
                     self.cancel_until(0);
                     return Some(Solution::Sat(model));
@@ -683,7 +696,9 @@ impl CdclSolver {
                     self.stats.restarts += 1;
                     obs.on_restart();
                     self.cancel_until(0);
-                    if self.config.conflict_limit != 0 && self.stats.conflicts >= self.config.conflict_limit {
+                    if self.config.conflict_limit != 0
+                        && self.stats.conflicts >= self.config.conflict_limit
+                    {
                         self.cancel_until(0);
                         return None;
                     }
@@ -727,7 +742,9 @@ impl CdclSolver {
                         return SearchResult::Unsat;
                     }
                 } else {
-                    let cref = self.add_clause_internal(learnt, true).expect("learnt clause has >= 2 lits");
+                    let cref = self
+                        .add_clause_internal(learnt, true)
+                        .expect("learnt clause has >= 2 lits");
                     self.clauses[cref as usize].lbd = lbd;
                     self.bump_clause(cref);
                     self.enqueue(asserting, Some(cref));

@@ -161,25 +161,26 @@ impl Cnf {
                     return Err(DimacsError::BadHeader { line: line_no + 1 });
                 }
                 num_vars = Some(
-                    parts[1]
-                        .parse()
-                        .map_err(|_| DimacsError::BadHeader { line: line_no + 1 })?,
+                    parts[1].parse().map_err(|_| DimacsError::BadHeader { line: line_no + 1 })?,
                 );
-                declared_clauses = parts[2]
-                    .parse()
-                    .map_err(|_| DimacsError::BadHeader { line: line_no + 1 })?;
+                declared_clauses =
+                    parts[2].parse().map_err(|_| DimacsError::BadHeader { line: line_no + 1 })?;
                 continue;
             }
             let nv = num_vars.ok_or(DimacsError::MissingHeader)?;
             for tok in line.split_whitespace() {
-                let val: i32 = tok
-                    .parse()
-                    .map_err(|_| DimacsError::BadToken { line: line_no + 1, token: tok.to_string() })?;
+                let val: i32 = tok.parse().map_err(|_| DimacsError::BadToken {
+                    line: line_no + 1,
+                    token: tok.to_string(),
+                })?;
                 if val == 0 {
                     clauses.push(Clause::new(std::mem::take(&mut current)));
                 } else {
                     if val.unsigned_abs() as usize > nv {
-                        return Err(DimacsError::LiteralOutOfRange { line: line_no + 1, literal: val });
+                        return Err(DimacsError::LiteralOutOfRange {
+                            line: line_no + 1,
+                            literal: val,
+                        });
                     }
                     current.push(Lit::from_dimacs(val));
                 }
@@ -297,10 +298,7 @@ mod tests {
     #[test]
     fn parse_rejects_garbage() {
         assert!(matches!(Cnf::parse_dimacs("1 2 0"), Err(DimacsError::MissingHeader)));
-        assert!(matches!(
-            Cnf::parse_dimacs("p cnf x 2"),
-            Err(DimacsError::BadHeader { .. })
-        ));
+        assert!(matches!(Cnf::parse_dimacs("p cnf x 2"), Err(DimacsError::BadHeader { .. })));
         assert!(matches!(
             Cnf::parse_dimacs("p cnf 2 1\n1 zebra 0"),
             Err(DimacsError::BadToken { .. })

@@ -36,10 +36,8 @@ pub fn random_ksat(num_vars: usize, num_clauses: usize, k: usize, seed: u64) -> 
     let mut vars: Vec<usize> = (0..num_vars).collect();
     for _ in 0..num_clauses {
         vars.shuffle(&mut rng);
-        let lits: Vec<Lit> = vars[..k]
-            .iter()
-            .map(|&v| Lit::new(Var::new(v), rng.gen_bool(0.5)))
-            .collect();
+        let lits: Vec<Lit> =
+            vars[..k].iter().map(|&v| Lit::new(Var::new(v), rng.gen_bool(0.5))).collect();
         cnf.add_clause(Clause::new(lits));
     }
     cnf
@@ -126,10 +124,8 @@ pub fn planted_ksat(num_vars: usize, num_clauses: usize, k: usize, seed: u64) ->
     let mut vars: Vec<usize> = (0..num_vars).collect();
     while cnf.num_clauses() < num_clauses {
         vars.shuffle(&mut rng);
-        let lits: Vec<Lit> = vars[..k]
-            .iter()
-            .map(|&v| Lit::new(Var::new(v), rng.gen_bool(0.5)))
-            .collect();
+        let lits: Vec<Lit> =
+            vars[..k].iter().map(|&v| Lit::new(Var::new(v), rng.gen_bool(0.5))).collect();
         let clause = Clause::new(lits);
         if clause.eval(&model) {
             cnf.add_clause(clause);

@@ -79,7 +79,11 @@ impl Lookahead {
 
     /// Scores the `num_candidates` most frequently occurring variables,
     /// excluding those listed in `frozen` (already decided in the cube).
-    pub fn score_candidates(&mut self, num_candidates: usize, frozen: &[Var]) -> Vec<LookaheadScore> {
+    pub fn score_candidates(
+        &mut self,
+        num_candidates: usize,
+        frozen: &[Var],
+    ) -> Vec<LookaheadScore> {
         let mut by_occurrence: Vec<usize> = (0..self.num_vars).collect();
         by_occurrence.sort_by_key(|&v| std::cmp::Reverse(self.occurrences[v]));
         let frozen_set: std::collections::HashSet<usize> =

@@ -311,7 +311,8 @@ impl Preprocessor {
     /// Runs the pipeline on `cnf`.
     pub fn run(&self, cnf: &Cnf) -> PreprocessResult {
         let mut work = cnf.clone();
-        let mut stats = PruneStats { bytes_before: work.footprint_bytes(), ..PruneStats::default() };
+        let mut stats =
+            PruneStats { bytes_before: work.footprint_bytes(), ..PruneStats::default() };
         let clauses_before = work.num_clauses();
         let mut steps: Vec<Step> = Vec::new();
         work.normalize();
@@ -420,10 +421,8 @@ impl Preprocessor {
                             i += 1;
                             continue;
                         }
-                        let drop = kept
-                            .iter()
-                            .enumerate()
-                            .any(|(j, &b)| j != i && big.implies(a, b));
+                        let drop =
+                            kept.iter().enumerate().any(|(j, &b)| j != i && big.implies(a, b));
                         if drop {
                             kept.remove(i);
                             dropped += 1;
@@ -504,7 +503,7 @@ fn propagate_units(cnf: &mut Cnf, steps: &mut Vec<Step>, stats: &mut PruneStats)
         let mut progressed = false;
         while let Some(l) = queue.pop() {
             match value[l.var().index()] {
-                Some(b) if b != !l.is_neg() => return UnitOutcome::Conflict,
+                Some(b) if b == l.is_neg() => return UnitOutcome::Conflict,
                 Some(_) => {}
                 None => {
                     value[l.var().index()] = Some(!l.is_neg());
@@ -720,7 +719,7 @@ mod tests {
         let cnf = Cnf::from_clauses(3, vec![vec![1], vec![-1, 2], vec![-2, 3]]);
         let result = Preprocessor::new().run(&cnf);
         assert_eq!(result.decided, Some(true));
-        let model = result.reconstruct_model(&vec![false; 3]);
+        let model = result.reconstruct_model(&[false; 3]);
         assert_eq!(model, vec![true, true, true]);
     }
 

@@ -35,6 +35,9 @@ impl Var {
     }
 
     /// The negative literal of this variable.
+    // Not `std::ops::Neg`: this constructs a `Lit` from a `Var`, it does
+    // not negate a `Var` into a `Var`.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Lit {
         Lit::new(self, true)
     }

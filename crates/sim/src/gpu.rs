@@ -132,8 +132,7 @@ impl GpuModel {
             seconds: latency,
             energy_j,
             compute_throughput_pct: 100.0 * compute_share * warp_eff,
-            alu_utilization_pct: 100.0 * compute_share * warp_eff * kernel.parallel_fraction
-                + 2.0,
+            alu_utilization_pct: 100.0 * compute_share * warp_eff * kernel.parallel_fraction + 2.0,
             l1_hit_rate_pct: 100.0 * l1_hit,
             l2_hit_rate_pct: 100.0 * l2_hit,
             dram_bw_utilization_pct: 100.0 * memory_share.min(1.0),
@@ -145,10 +144,13 @@ impl GpuModel {
 
     /// Sum of per-kernel runs (a whole workload phase).
     pub fn run_all(&self, kernels: &[KernelProfile]) -> (f64, f64) {
-        kernels.iter().map(|k| {
-            let r = self.run(k);
-            (r.seconds, r.energy_j)
-        }).fold((0.0, 0.0), |acc, x| (acc.0 + x.0, acc.1 + x.1))
+        kernels
+            .iter()
+            .map(|k| {
+                let r = self.run(k);
+                (r.seconds, r.energy_j)
+            })
+            .fold((0.0, 0.0), |acc, x| (acc.0 + x.0, acc.1 + x.1))
     }
 }
 

@@ -116,10 +116,8 @@ impl ReasonDevice {
     ///
     /// Panics if the batch's neural buffer was not published.
     pub fn execute_dag(&mut self, batch: BatchId, kernel: &CompiledKernel) -> ExecuteOutcome {
-        let inputs = self
-            .shared
-            .take_neural(batch)
-            .expect("neural_ready must be set before REASON_execute");
+        let inputs =
+            self.shared.take_neural(batch).expect("neural_ready must be set before REASON_execute");
         let program = kernel.program(&inputs);
         let report = VliwExecutor::new(self.config).execute(&program);
         self.shared.publish_symbolic(batch, vec![report.output]);
@@ -144,7 +142,12 @@ impl ReasonDevice {
     /// completion time against the supplied host clock. With
     /// `blocking == true` the returned status is always `Idle` and the
     /// second component is the host's wait, in cycles.
-    pub fn check_status(&self, batch: BatchId, host_cycles: u64, blocking: bool) -> (DeviceStatus, u64) {
+    pub fn check_status(
+        &self,
+        batch: BatchId,
+        host_cycles: u64,
+        blocking: bool,
+    ) -> (DeviceStatus, u64) {
         match self.completes_at.get(&batch) {
             None => (DeviceStatus::Idle, 0),
             Some(&done) => {

@@ -116,7 +116,10 @@ mod tests {
     fn pipelining_never_hurts() {
         let pipe = TwoLevelPipeline::new();
         let tasks: Vec<StageCost> = (0..20)
-            .map(|i| StageCost { neural_s: (i % 5) as f64 * 0.2 + 0.1, symbolic_s: (i % 3) as f64 * 0.4 + 0.2 })
+            .map(|i| StageCost {
+                neural_s: (i % 5) as f64 * 0.2 + 0.1,
+                symbolic_s: (i % 3) as f64 * 0.4 + 0.2,
+            })
             .collect();
         let report = pipe.schedule(&tasks);
         assert!(report.pipelined_s <= report.serial_s + 1e-12);

@@ -102,7 +102,11 @@ impl WorkloadModel for AlphaGeometry {
                 Some(sat) => {
                     let proved = !sat;
                     let correct = task.proposer_ok && (proved == task.provable);
-                    return TaskResult { correct, score: f64::from(u8::from(correct)), kernel_bytes: bytes };
+                    return TaskResult {
+                        correct,
+                        score: f64::from(u8::from(correct)),
+                        kernel_bytes: bytes,
+                    };
                 }
                 None => (pre.cnf, bytes),
             }
@@ -118,10 +122,7 @@ impl WorkloadModel for AlphaGeometry {
 
     fn kernel_profiles(&self, spec: &TaskSpec) -> Vec<KernelProfile> {
         let f = spec.scale.factor();
-        vec![
-            KernelProfile::logic_bcp(60_000 * f),
-            KernelProfile::sparse_matvec(1024 * f, 0.05),
-        ]
+        vec![KernelProfile::logic_bcp(60_000 * f), KernelProfile::sparse_matvec(1024 * f, 0.05)]
     }
 
     fn neural_tokens(&self, spec: &TaskSpec) -> (u64, u64) {

@@ -73,7 +73,8 @@ pub fn prefix_and_keyword_dfa(prefix: &[usize], keyword: &[usize], num_symbols: 
 impl CtrlG {
     /// Generates a task.
     pub fn generate(&self, spec: &TaskSpec) -> InfillTask {
-        let mut rng = StdRng::seed_from_u64(spec.seed.wrapping_mul(0xC0FF_EE00_DEAD_BEEF).wrapping_add(7));
+        let mut rng =
+            StdRng::seed_from_u64(spec.seed.wrapping_mul(0xC0FF_EE00_DEAD_BEEF).wrapping_add(7));
         let f = spec.scale.factor();
         let states = 4 + f;
         let symbols = 6 + 2 * f;
@@ -113,10 +114,7 @@ impl WorkloadModel for CtrlG {
 
     fn kernel_profiles(&self, spec: &TaskSpec) -> Vec<KernelProfile> {
         let f = spec.scale.factor();
-        vec![
-            KernelProfile::bayesian_update(768 * f, 1),
-            KernelProfile::pc_marginal(60_000 * f),
-        ]
+        vec![KernelProfile::bayesian_update(768 * f, 1), KernelProfile::pc_marginal(60_000 * f)]
     }
 
     fn neural_tokens(&self, spec: &TaskSpec) -> (u64, u64) {

@@ -90,10 +90,7 @@ impl WorkloadModel for GeLaTo {
 
     fn kernel_profiles(&self, spec: &TaskSpec) -> Vec<KernelProfile> {
         let f = spec.scale.factor();
-        vec![
-            KernelProfile::bayesian_update(512 * f, 1),
-            KernelProfile::pc_marginal(40_000 * f),
-        ]
+        vec![KernelProfile::bayesian_update(512 * f, 1), KernelProfile::pc_marginal(40_000 * f)]
     }
 
     fn neural_tokens(&self, spec: &TaskSpec) -> (u64, u64) {

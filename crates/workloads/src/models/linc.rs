@@ -99,10 +99,7 @@ impl WorkloadModel for Linc {
 
     fn kernel_profiles(&self, spec: &TaskSpec) -> Vec<KernelProfile> {
         let f = spec.scale.factor();
-        vec![
-            KernelProfile::logic_bcp(25_000 * f),
-            KernelProfile::sparse_matvec(768 * f, 0.08),
-        ]
+        vec![KernelProfile::logic_bcp(25_000 * f), KernelProfile::sparse_matvec(768 * f, 0.08)]
     }
 
     fn neural_tokens(&self, spec: &TaskSpec) -> (u64, u64) {

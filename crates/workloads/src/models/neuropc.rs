@@ -52,7 +52,13 @@ impl NeuroPc {
         let profiles: Vec<[Vec<f64>; 2]> = (0..Self::CLASSES)
             .map(|_| {
                 let dominant: Vec<f64> = (0..attributes)
-                    .map(|_| if rng.gen_bool(0.5) { rng.gen_range(0.75..0.95) } else { rng.gen_range(0.05..0.25) })
+                    .map(|_| {
+                        if rng.gen_bool(0.5) {
+                            rng.gen_range(0.75..0.95)
+                        } else {
+                            rng.gen_range(0.05..0.25)
+                        }
+                    })
                     .collect();
                 // The rare profile perturbs the dominant one.
                 let rare: Vec<f64> = dominant
@@ -68,7 +74,7 @@ impl NeuroPc {
         // The classifier circuit mirrors the generative model:
         // Σ_c prior_c · [class=c] · Σ_profile w · Π_a Cat(attr_a; ·).
         let mut arities = vec![Self::CLASSES];
-        arities.extend(std::iter::repeat(2).take(attributes));
+        arities.extend(std::iter::repeat_n(2, attributes));
         let mut b = CircuitBuilder::new(arities);
         let mut components = Vec::with_capacity(Self::CLASSES);
         for (c, class_profiles) in profiles.iter().enumerate() {
@@ -161,9 +167,7 @@ impl WorkloadModel for NeuroPc {
 
     fn kernel_profiles(&self, spec: &TaskSpec) -> Vec<KernelProfile> {
         let f = spec.scale.factor();
-        vec![
-            KernelProfile::pc_marginal(80_000 * f),
-        ]
+        vec![KernelProfile::pc_marginal(80_000 * f)]
     }
 
     fn neural_tokens(&self, spec: &TaskSpec) -> (u64, u64) {

@@ -72,19 +72,19 @@ impl R2Guard {
         // Detector marginals: skewed toward "benign" with occasional
         // high-risk spikes, mirroring XSTest-style inputs.
         let probs: Vec<f64> = (0..categories)
-            .map(|_| if rng.gen_bool(0.3) { rng.gen_range(0.5..0.95) } else { rng.gen_range(0.02..0.3) })
+            .map(|_| {
+                if rng.gen_bool(0.3) {
+                    rng.gen_range(0.5..0.95)
+                } else {
+                    rng.gen_range(0.02..0.3)
+                }
+            })
             .collect();
         let weights = WmcWeights::new(probs);
         let circuit = compile_cnf(&rules, &weights).expect("rule sets are satisfiable");
         let exact_safe = brute_wmc(&rules, &weights);
         let exact_violation = 1.0 - exact_safe;
-        GuardTask {
-            rules,
-            weights,
-            circuit,
-            exact_violation,
-            unsafe_label: exact_violation > 0.5,
-        }
+        GuardTask { rules, weights, circuit, exact_violation, unsafe_label: exact_violation > 0.5 }
     }
 }
 
@@ -135,10 +135,7 @@ impl WorkloadModel for R2Guard {
 
     fn kernel_profiles(&self, spec: &TaskSpec) -> Vec<KernelProfile> {
         let f = spec.scale.factor();
-        vec![
-            KernelProfile::pc_marginal(120_000 * f),
-            KernelProfile::logic_bcp(8_000 * f),
-        ]
+        vec![KernelProfile::pc_marginal(120_000 * f), KernelProfile::logic_bcp(8_000 * f)]
     }
 
     fn neural_tokens(&self, spec: &TaskSpec) -> (u64, u64) {

@@ -111,11 +111,9 @@ mod tests {
 
     #[test]
     fn compositional_dominates_every_size() {
-        for family in [
-            TaskFamily::ComplexReasoning,
-            TaskFamily::MathReasoning,
-            TaskFamily::QuestionAnswering,
-        ] {
+        for family in
+            [TaskFamily::ComplexReasoning, TaskFamily::MathReasoning, TaskFamily::QuestionAnswering]
+        {
             for p in accuracy_scaling(family) {
                 assert!(
                     p.compositional_pct > p.monolithic_pct,

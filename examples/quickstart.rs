@@ -45,8 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 4. Query p(x0 = 1, x3 = 0) with everything else marginalized.
-    let evidence: Vec<Option<usize>> =
-        vec![Some(1), None, None, Some(0), None, None, None, None];
+    let evidence: Vec<Option<usize>> = vec![Some(1), None, None, Some(0), None, None, None, None];
     let (_, map) = dag_from_circuit(&circuit);
     let inputs = map.inputs_for_evidence(circuit.arities(), &evidence);
     let report = VliwExecutor::new(config).execute(&compiled.program(&inputs));

@@ -25,8 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rules = Cnf::from_clauses(6, vec![vec![-1, -2, 3], vec![-4, 5], vec![-6, -1]]);
 
     // "Neural detector" marginals for one input text.
-    let weights =
-        WmcWeights::new(vec![0.62, 0.55, 0.08, 0.40, 0.35, 0.20]);
+    let weights = WmcWeights::new(vec![0.62, 0.55, 0.08, 0.40, 0.35, 0.20]);
 
     let circuit = compile_cnf(&rules, &weights).expect("rules are satisfiable");
     let p_safe = circuit.probability(&Evidence::empty(6));
@@ -55,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dag = regularize(&dag);
     let config = ArchConfig::paper();
     let compiled = ReasonCompiler::new(config).compile(&dag)?;
-    let inputs = map.inputs_for_evidence(report.circuit.arities(), &vec![None; 6]);
+    let inputs = map.inputs_for_evidence(report.circuit.arities(), &[None; 6]);
     let hw = VliwExecutor::new(config).execute(&compiled.program(&inputs));
     println!(
         "hardware: P[safe] = {:.4} in {} cycles ({:.2} us)",

@@ -23,7 +23,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Resolution proof.
     match prove(&axioms, &goal, 10_000) {
-        ProofResult::Proved { steps } => println!("resolution: PROVED in {steps} generated clauses"),
+        ProofResult::Proved { steps } => {
+            println!("resolution: PROVED in {steps} generated clauses")
+        }
         other => println!("resolution: {other:?}"),
     }
 
@@ -45,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outcome = CubeAndConquer::new(&grounding.cnf, CubeConfig::default()).solve();
     println!(
         "cube-and-conquer: {} ({} cubes, {} solved)",
-        if outcome.solution.is_sat() { "SAT — goal NOT entailed" } else { "UNSAT — goal PROVED" },
+        if outcome.solution.is_sat() {
+            "SAT — goal NOT entailed"
+        } else {
+            "UNSAT — goal PROVED"
+        },
         outcome.cubes.len(),
         outcome.cubes_solved
     );

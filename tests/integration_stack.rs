@@ -9,10 +9,12 @@
 use reason::arch::{ArchConfig, SymbolicEngine, VliwExecutor};
 use reason::compiler::ReasonCompiler;
 use reason::core::{dag_from_circuit, dag_from_cnf, dag_from_hmm, KernelSource, ReasonPipeline};
+use reason::fol::{clausify, ground_clauses, parse_formula, prove, Formula, ProofResult};
 use reason::hmm::Hmm;
+use reason::neural::{CsrMatrix, LlmProxy, Matrix, MlpBuilder};
 use reason::pc::{random_mixture_circuit, Evidence, StructureConfig};
-use reason::sat::{brute_force, gen::random_ksat, CdclSolver, DpllSolver};
-use reason::system::{ReasonDevice, SharedMemory};
+use reason::sat::{brute_force, gen::random_ksat, CdclSolver, DpllSolver, Solution};
+use reason::system::{ReasonDevice, SharedMemory, StageCost, TwoLevelPipeline};
 
 #[test]
 fn four_sat_engines_agree() {
@@ -117,6 +119,160 @@ fn pruned_sat_kernel_still_accepts_models_on_hardware() {
 }
 
 #[test]
+fn fol_resolution_agrees_with_grounded_sat_on_every_engine() {
+    // A goal the resolution prover derives in two chained steps.
+    let axioms = vec![
+        parse_formula("forall X. (man(X) -> mortal(X))").unwrap(),
+        parse_formula("forall X. (mortal(X) -> fallible(X))").unwrap(),
+        parse_formula("man(socrates)").unwrap(),
+        parse_formula("man(plato)").unwrap(),
+    ];
+    let goal = parse_formula("fallible(socrates)").unwrap();
+    assert!(
+        matches!(prove(&axioms, &goal, 10_000), ProofResult::Proved { .. }),
+        "resolution must derive the chained implication"
+    );
+
+    // The same entailment question, grounded to propositional SAT:
+    // axioms ∧ ¬goal must be UNSAT, and every SAT engine — exact
+    // brute force, CDCL, and the watched-literal BCP hardware — must
+    // agree with the prover.
+    let mut formulas = axioms.clone();
+    formulas.push(Formula::not(goal));
+    let grounding = ground_clauses(&clausify(&formulas), &[]).expect("function-free");
+    let cnf = grounding.cnf;
+    assert!(!brute_force(&cnf).is_sat(), "prover and grounding must agree: UNSAT");
+    assert!(!CdclSolver::new(&cnf).solve().is_sat(), "cdcl");
+    assert!(!DpllSolver::new(&cnf).solve().is_sat(), "dpll");
+    let (hw, _) = SymbolicEngine::new(ArchConfig::paper()).solve(&cnf);
+    assert!(!hw.is_sat(), "BCP hardware");
+}
+
+#[test]
+fn unprovable_fol_goal_grounds_to_sat_models_on_hardware() {
+    // `mortal(plato)` does not follow without `man(plato)`: resolution
+    // saturates, so the grounded counterexample search must be SAT.
+    let axioms = vec![
+        parse_formula("forall X. (man(X) -> mortal(X))").unwrap(),
+        parse_formula("man(socrates)").unwrap(),
+        parse_formula("person(plato)").unwrap(),
+    ];
+    let goal = parse_formula("mortal(plato)").unwrap();
+    assert!(
+        !matches!(prove(&axioms, &goal, 10_000), ProofResult::Proved { .. }),
+        "goal must not be entailed"
+    );
+
+    let mut formulas = axioms.clone();
+    formulas.push(Formula::not(goal));
+    let grounding = ground_clauses(&clausify(&formulas), &[]).expect("function-free");
+    let cnf = grounding.cnf;
+    assert!(brute_force(&cnf).is_sat(), "prover and grounding must agree: SAT");
+
+    // Push the grounded kernel through the full stack: the CDCL model
+    // must evaluate to 1.0 on the unified DAG and on the compiled VLIW
+    // program, exactly as the substrate's `Cnf::eval` says.
+    let model = match CdclSolver::new(&cnf).solve() {
+        Solution::Sat(m) => m,
+        Solution::Unsat => panic!("instance is satisfiable"),
+    };
+    assert!(cnf.eval(&model));
+    let inputs: Vec<f64> = model.iter().map(|&b| f64::from(b)).collect();
+    let (dag, _) = dag_from_cnf(&cnf);
+    assert_eq!(dag.evaluate_output(&inputs), 1.0, "DAG agrees with Cnf::eval");
+    let config = ArchConfig::paper();
+    let kernel = ReasonPipeline::new().compile(KernelSource::Sat(&cnf)).unwrap();
+    let compiled = ReasonCompiler::new(config).compile(&kernel.dag).unwrap();
+    let report = VliwExecutor::new(config).execute(&compiled.program(&inputs));
+    assert_eq!(report.output, 1.0, "hardware agrees with Cnf::eval");
+}
+
+#[test]
+fn neural_sparse_kernels_agree_with_dense_reference() {
+    // The tree-PE's SpMSpM mode executes CSR kernels; they must compute
+    // exactly what the dense tensor substrate computes.
+    let a = Matrix::random(12, 16, 1.0, 42);
+    let b = Matrix::random(16, 10, 1.0, 43);
+    let exact = a.matmul(&b);
+    let sparse = CsrMatrix::from_dense(&a).spmspm(&CsrMatrix::from_dense(&b)).to_dense();
+    assert_eq!(sparse.rows(), exact.rows());
+    assert_eq!(sparse.cols(), exact.cols());
+    for r in 0..exact.rows() {
+        for c in 0..exact.cols() {
+            assert!(
+                (sparse.at(r, c) - exact.at(r, c)).abs() < 1e-4,
+                "SpMSpM [{r},{c}]: {} vs dense {}",
+                sparse.at(r, c),
+                exact.at(r, c)
+            );
+        }
+    }
+
+    // SpMV against the dense row-by-row reference.
+    let x: Vec<f32> = (0..16).map(|i| (i as f32 * 0.37).sin()).collect();
+    let y = CsrMatrix::from_dense(&a).spmv(&x);
+    for r in 0..a.rows() {
+        let dense_dot: f32 = (0..a.cols()).map(|c| a.at(r, c) * x[c]).sum();
+        assert!((y[r] - dense_dot).abs() < 1e-4, "SpMV row {r}");
+    }
+
+    // The MLP head must emit a probability distribution per batch row.
+    let mlp = MlpBuilder::new(8).layer(16, true, 1).layer(4, false, 2).softmax().build();
+    let batch = Matrix::random(5, 8, 1.0, 44);
+    let out = mlp.forward(&batch);
+    assert_eq!(out.rows(), 5);
+    for r in 0..out.rows() {
+        let total: f32 = (0..out.cols()).map(|c| out.at(r, c)).sum();
+        assert!((total - 1.0).abs() < 1e-5, "softmax row {r} sums to {total}");
+    }
+}
+
+#[test]
+fn llm_proxy_costs_drive_the_two_level_pipeline() {
+    // Neural stage: LLM proxy on an A6000-like device (~155 TFLOP/s fp16,
+    // ~768 GB/s). Symbolic stage: the cycle-accurate cost of the compiled
+    // PC kernel on the REASON device.
+    let proxy = LlmProxy::preset("7B");
+    let config = ArchConfig::paper();
+    let circuit = random_mixture_circuit(&StructureConfig {
+        num_vars: 6,
+        depth: 3,
+        num_components: 2,
+        seed: 13,
+    });
+    let (dag, map) = dag_from_circuit(&circuit);
+    let dag = reason::core::regularize(&dag);
+    let compiled = ReasonCompiler::new(config).compile(&dag).unwrap();
+    let exec = VliwExecutor::new(config);
+
+    let mut tasks = Vec::new();
+    for seed in 0..6u64 {
+        let neural = proxy.cost(256, 8 + 4 * seed, 155e12, 768e9);
+        let ev: Vec<Option<usize>> =
+            (0..6).map(|v| if (seed + v) % 2 == 0 { Some(1) } else { None }).collect();
+        let report =
+            exec.execute(&compiled.program(&map.inputs_for_evidence(circuit.arities(), &ev)));
+        // The symbolic answer itself must stay exact while we time it.
+        let exact = circuit.probability(&Evidence::from_values(&ev));
+        assert!((report.output - exact).abs() < 1e-9, "seed {seed}");
+        tasks.push(StageCost {
+            neural_s: neural.seconds,
+            symbolic_s: report.cycles as f64 * config.cycle_seconds(),
+        });
+    }
+
+    let schedule = TwoLevelPipeline::new().schedule(&tasks);
+    // The schedule's serial time must equal the exact sum of stage costs,
+    // and pipelining must land between the dominant stage and serial.
+    let serial: f64 = tasks.iter().map(|t| t.neural_s + t.symbolic_s).sum();
+    assert!((schedule.serial_s - serial).abs() < 1e-12);
+    let neural_total: f64 = tasks.iter().map(|t| t.neural_s).sum();
+    let symbolic_total: f64 = tasks.iter().map(|t| t.symbolic_s).sum();
+    assert!(schedule.pipelined_s <= schedule.serial_s + 1e-12);
+    assert!(schedule.pipelined_s + 1e-12 >= neural_total.max(symbolic_total));
+}
+
+#[test]
 fn device_interface_round_trips_through_shared_memory() {
     let circuit = random_mixture_circuit(&StructureConfig {
         num_vars: 5,
@@ -132,7 +288,8 @@ fn device_interface_round_trips_through_shared_memory() {
     let shm = SharedMemory::new();
     let mut device = ReasonDevice::new(config, shm.clone());
     for batch in 0..4u64 {
-        let ev: Vec<Option<usize>> = (0..5).map(|v| if v as u64 == batch { Some(1) } else { None }).collect();
+        let ev: Vec<Option<usize>> =
+            (0..5).map(|v| if v as u64 == batch { Some(1) } else { None }).collect();
         shm.publish_neural(batch, map.inputs_for_evidence(circuit.arities(), &ev));
         let outcome = device.execute_dag(batch, &kernel);
         let expect = circuit.probability(&Evidence::from_values(&ev));
@@ -152,7 +309,7 @@ fn ablations_change_cycles_but_never_results() {
     });
     let (dag, map) = dag_from_circuit(&circuit);
     let dag = reason::core::regularize(&dag);
-    let inputs = map.inputs_for_evidence(circuit.arities(), &vec![None; 8]);
+    let inputs = map.inputs_for_evidence(circuit.arities(), &[None; 8]);
 
     let full = ArchConfig::paper();
     let mut crippled = full;

@@ -1,0 +1,67 @@
+//! Offline stand-in for `crossbeam::thread` scoped threads, layered on
+//! `std::thread::scope` (stable since Rust 1.63).
+//!
+//! API differences preserved from crossbeam: the closure passed to
+//! [`thread::scope`] receives a `&Scope` (so `scope.spawn(|_| ...)`
+//! works), and `scope` returns a `Result`. Unlike crossbeam, a panicking
+//! child propagates at the scope exit instead of surfacing as `Err` —
+//! every call site immediately `.expect()`s the result, so the observable
+//! behavior (test aborts with the panic payload) is the same.
+
+pub mod thread {
+    /// Handle for spawning threads tied to the scope's lifetime.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives a `&Scope` for
+        /// nested spawns, mirroring crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope in which spawned threads are joined before
+    /// `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_share_stack_state() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        })
+        .expect("threads joined");
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            });
+        })
+        .expect("threads joined");
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Offline stand-in for `parking_lot`'s `Mutex` and `Condvar`.
+//!
+//! Matches the two parking_lot ergonomics the workspace relies on:
+//! `lock()` returns the guard directly (no poisoning `Result`), and
+//! `Condvar::wait` takes `&mut MutexGuard` instead of consuming it. A
+//! poisoned std mutex (panicking holder) just yields the inner guard,
+//! mirroring parking_lot's no-poisoning semantics.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync;
+
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    // `Option` so `Condvar::wait` can move the std guard out and back.
+    inner: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = self.0.lock().unwrap_or_else(sync::PoisonError::into_inner);
+        MutexGuard { inner: Some(guard) }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(guard) => Some(MutexGuard { inner: Some(guard) }),
+            Err(sync::TryLockError::Poisoned(p)) => {
+                Some(MutexGuard { inner: Some(p.into_inner()) })
+            }
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present outside Condvar::wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present outside Condvar::wait")
+    }
+}
+
+#[derive(Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let std_guard = guard.inner.take().expect("guard present before wait");
+        let std_guard = self.0.wait(std_guard).unwrap_or_else(sync::PoisonError::into_inner);
+        guard.inner = Some(std_guard);
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_round_trip() {
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 6);
+    }
+
+    #[test]
+    fn condvar_handoff_across_threads() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let signaller = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            *signaller.0.lock() = true;
+            signaller.1.notify_all();
+        });
+        let mut guard = pair.0.lock();
+        while !*guard {
+            pair.1.wait(&mut guard);
+        }
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`'s derive macros.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` (to keep
+//! config and report types wire-ready); nothing calls serialization at
+//! runtime, and the build environment has no registry access. These
+//! derives therefore expand to nothing, which keeps every
+//! `#[derive(Serialize, Deserialize)]` in the tree compiling unchanged.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
