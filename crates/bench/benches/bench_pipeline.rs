@@ -1,0 +1,43 @@
+//! The threaded batch executor on mixed SAT/PC batches (paper Sec. VI-C
+//! executed, not simulated): serial baseline vs stage overlap vs parallel
+//! symbolic conquering, plus the cube-and-conquer worker-count axis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use reason_sat::gen::random_ksat;
+use reason_sat::{CubeAndConquer, CubeConfig};
+use reason_system::{demo_batch, BatchExecutor, ExecutorConfig};
+
+fn bench_executor_configs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_executor");
+    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+    let batch = demo_batch(6, 11);
+    g.bench_function("serial", |b| {
+        b.iter(|| BatchExecutor::new(ExecutorConfig::sequential()).run(&batch))
+    });
+    for workers in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("overlapped", workers), &workers, |b, &w| {
+            b.iter(|| BatchExecutor::new(ExecutorConfig::overlapped(w)).run(&batch))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cube_conquer_workers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cube_conquer_workers");
+    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+    let cnf = random_ksat(24, 100, 3, 9);
+    for workers in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                CubeAndConquer::new(&cnf, CubeConfig { workers: w, ..CubeConfig::default() })
+                    .solve()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_executor_configs, bench_cube_conquer_workers);
+criterion_main!(benches);

@@ -2,9 +2,11 @@
 //! paper's evaluation.
 //!
 //! ```text
-//! reason-eval <experiment> [tasks]
+//! reason-eval <experiment> [tasks] [workers]
 //!   experiments: fig2 fig3a fig3b fig3c fig3d table2 table3 table4
-//!                fig8 fig11 fig12 fig13 table5 ablation dse all
+//!                fig8 fig11 fig12 fig13 table5 ablation dse pipeline all
+//!   pipeline: runs [tasks] mixed SAT/PC tasks on the threaded
+//!             BatchExecutor with [workers] symbolic workers
 //! ```
 
 use reason_bench::experiments;
@@ -13,6 +15,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let which = args.get(1).map(String::as_str).unwrap_or("all");
     let tasks: usize = args.get(2).and_then(|t| t.parse().ok()).unwrap_or(4);
+    let workers: usize = args.get(3).and_then(|t| t.parse().ok()).unwrap_or(4);
 
     let run = |name: &str| -> Option<String> {
         match name {
@@ -32,6 +35,7 @@ fn main() {
             "table5" => Some(experiments::table5(tasks)),
             "ablation" => Some(experiments::ablation()),
             "dse" => Some(experiments::dse()),
+            "pipeline" => Some(experiments::pipeline(tasks, workers)),
             _ => None,
         }
     };
@@ -39,7 +43,7 @@ fn main() {
     if which == "all" {
         for name in [
             "fig2", "fig3a", "fig3b", "fig3c", "fig3d", "table2", "table3", "table4", "fig8",
-            "fig9", "fig11", "fig12", "fig13", "table5", "ablation", "dse",
+            "fig9", "fig11", "fig12", "fig13", "table5", "ablation", "dse", "pipeline",
         ] {
             println!("{}", run(name).expect("known experiment"));
         }
@@ -49,7 +53,8 @@ fn main() {
             None => {
                 eprintln!(
                     "unknown experiment `{which}`; expected one of: fig2 fig3a fig3b fig3c \
-                     fig3d table2 table3 table4 fig8 fig9 fig11 fig12 fig13 table5 ablation dse all"
+                     fig3d table2 table3 table4 fig8 fig9 fig11 fig12 fig13 table5 ablation dse \
+                     pipeline all"
                 );
                 std::process::exit(2);
             }

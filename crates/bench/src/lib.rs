@@ -11,8 +11,15 @@
 //! * neural-stage costs come from the LLM proxy of `reason-neural`.
 //!
 //! Experiments live in [`experiments`]; the `reason-eval` binary prints
-//! them in the paper's row/series layout. EXPERIMENTS.md records
-//! paper-vs-measured values.
+//! them in the paper's row/series layout, each ending with the paper's
+//! reported values for comparison. The `pipeline` experiment goes one
+//! step further: instead of *costing* the two-level pipeline it *runs*
+//! it, on the threaded `reason_system::BatchExecutor`, and prints the
+//! flow-shop cost model's prediction next to the measured wall clock.
+//!
+//! Criterion-style benches live in `benches/` (shimmed timing, smoke-run
+//! by CI; raise `CRITERION_SHIM_ITERS` for real measurements). See
+//! `docs/ARCHITECTURE.md` for where this harness sits in the workspace.
 
 pub mod experiments;
 

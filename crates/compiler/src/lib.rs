@@ -67,7 +67,7 @@ pub use schedule::schedule_blocks;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CompileError {
     /// The DAG has a node with fan-in above 2; run
-    /// [`reason_core::regularize`] first.
+    /// [`reason_core::regularize()`] first.
     NotTwoInputRegular {
         /// Offending fan-in found.
         fan_in: usize,

@@ -19,7 +19,7 @@
 //!   edges and low-usage HMM transitions. Both delegate to the substrate
 //!   crates and are re-exposed here as one pipeline with unified
 //!   reporting (the paper's Table IV metrics).
-//! * **Stage 3 — two-input regularization** ([`regularize`]): n-ary nodes
+//! * **Stage 3 — two-input regularization** ([`mod@regularize`]): n-ary nodes
 //!   decompose into balanced binary trees so the mapped DAG matches the
 //!   two-input tree PEs of the REASON hardware (Sec. V).
 //!

@@ -1,6 +1,6 @@
 //! DFA-constrained HMM inference — the Ctrl-G / GeLaTo kernel.
 //!
-//! Ctrl-G (paper Table I, [23]) and GeLaTo ([29]) impose hard lexical
+//! Ctrl-G (paper Table I, \[23\]) and GeLaTo (\[29\]) impose hard lexical
 //! constraints on language-model generation by intersecting an HMM proxy of
 //! the LM with a deterministic finite automaton encoding the constraint.
 //! Inference runs on the *product* state space (hmm state × dfa state):

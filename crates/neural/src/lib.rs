@@ -18,6 +18,24 @@
 //! * [`proxy`] — an LLM cost proxy: FLOPs, bytes moved, and token-loop
 //!   latency modeling calibrated by parameter count, standing in for the
 //!   LLaMA-class models of the paper's workloads.
+//!
+//! Both [`Mlp`] forward passes and [`LlmProxy`] evaluations also serve as
+//! the *neural stage* of `reason_system::BatchExecutor` tasks: the
+//! executor's GPU-side worker pool runs them concurrently with symbolic
+//! work, realizing the stage overlap of Sec. VI-C.
+//!
+//! # Example
+//!
+//! ```
+//! use reason_neural::{Matrix, MlpBuilder};
+//!
+//! let mlp = MlpBuilder::new(4).layer(8, true, 1).layer(3, false, 2).softmax().build();
+//! let out = mlp.forward(&Matrix::random(2, 4, 1.0, 3));
+//! assert_eq!((out.rows(), out.cols()), (2, 3));
+//! // Softmax rows are normalized.
+//! let row_sum: f32 = (0..3).map(|c| out.at(0, c)).sum();
+//! assert!((row_sum - 1.0).abs() < 1e-5);
+//! ```
 
 pub mod mlp;
 pub mod proxy;

@@ -22,7 +22,7 @@
 //!   with exact weighted model counting.
 //! * [`structure`] — seeded structure generators (mixture-of-factorization
 //!   region trees) for workload synthesis.
-//! * [`sample`] — forward sampling.
+//! * [`mod@sample`] — forward sampling.
 //!
 //! # Example
 //!

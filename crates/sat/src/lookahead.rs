@@ -1,6 +1,6 @@
 //! Lookahead literal scoring for cube splitting.
 //!
-//! Cube-and-conquer (Heule et al., paper reference [27]) guides CDCL by a
+//! Cube-and-conquer (Heule et al., paper reference \[27\]) guides CDCL by a
 //! lookahead phase: candidate split variables are evaluated by propagating
 //! each polarity and measuring how strongly the formula shrinks. REASON's
 //! working example (paper Fig. 9, "Lookahead: LA(A) < LA(B)") ranks DPLL

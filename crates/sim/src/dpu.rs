@@ -1,6 +1,6 @@
 //! A DPU-like tree-array model (paper Fig. 13 and Table III baseline).
 //!
-//! DPU-v2 (paper reference [46]) executes irregular DAGs on a fixed-
+//! DPU-v2 (paper reference \[46\]) executes irregular DAGs on a fixed-
 //! dataflow tree array: 8 PEs / 56 nodes, 2.4 MB SRAM at 28 nm. It lacks
 //! REASON's cycle-reconfigurable datapath, Benes operand crossbar,
 //! conflict-aware bank mapping, and watched-literal hardware, so:

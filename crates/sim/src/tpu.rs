@@ -4,7 +4,7 @@
 //! arrays. GEMM-shaped work maps with high utilization; irregular
 //! symbolic/probabilistic DAG work cannot enter the array and falls back
 //! to the scalar/vector frontend, which is the Fig. 13 result — "similar
-//! performance in neural operations, [but] superior symbolic logic and
+//! performance in neural operations, \[but\] superior symbolic logic and
 //! probabilistic operation efficiency [for REASON]".
 
 use serde::{Deserialize, Serialize};

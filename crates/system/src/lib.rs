@@ -8,19 +8,35 @@
 //!   results and raises `neural_ready`; REASON polls, consumes, executes,
 //!   writes back, and raises `symbolic_ready` (paper Sec. VI-B
 //!   "Synchronization").
-//! * [`device`] — the programming model: [`ReasonDevice::execute`] and
-//!   [`ReasonDevice::check_status`] mirror the paper's `REASON_execute` /
-//!   `REASON_check_status` C++ interface (Listing 1), dispatching to the
-//!   cycle-level engines of `reason-arch` by reasoning mode.
+//! * [`device`] — the programming model: [`ReasonDevice::execute_dag`] /
+//!   [`ReasonDevice::execute_sat`] and [`ReasonDevice::check_status`]
+//!   mirror the paper's `REASON_execute` / `REASON_check_status` C++
+//!   interface (Listing 1), dispatching to the cycle-level engines of
+//!   `reason-arch` by reasoning mode.
 //! * [`pipeline`] — the two-level execution pipeline (paper Sec. VI-C):
 //!   task-level overlap of GPU neural work for batch `N+1` with REASON
 //!   symbolic work for batch `N`, on top of the intra-REASON pipelining
-//!   already modeled in `reason-arch`.
+//!   already modeled in `reason-arch`. This is the *cost model*: a
+//!   two-stage flow-shop schedule over per-task stage costs.
+//! * [`executor`] — the cost model made real: [`BatchExecutor`] runs
+//!   mixed SAT/PC batches on neural and symbolic worker pools with
+//!   genuine thread-level stage overlap, moves data through the
+//!   [`sync`] flag protocol, and reports measured schedules in the same
+//!   [`PipelineReport`] vocabulary so model and execution can be
+//!   compared directly.
+//!
+//! See `docs/ARCHITECTURE.md` at the workspace root for where this
+//! crate sits in the end-to-end dataflow.
 
 pub mod device;
+pub mod executor;
 pub mod pipeline;
 pub mod sync;
 
 pub use device::{BatchId, DeviceStatus, ExecuteOutcome, ReasonDevice, ReasoningMode};
+pub use executor::{
+    demo_batch, synthetic_batch, BatchExecutor, BatchReport, BatchTask, ExecutorConfig,
+    NeuralStage, SymbolicStage, TaskResult, Verdict,
+};
 pub use pipeline::{PipelineReport, StageCost, TwoLevelPipeline};
 pub use sync::SharedMemory;

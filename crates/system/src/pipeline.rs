@@ -18,19 +18,35 @@ pub struct StageCost {
     pub symbolic_s: f64,
 }
 
-/// Result of scheduling a task sequence.
+/// Result of scheduling a task sequence — or, when produced by
+/// [`reason_system::BatchExecutor`](crate::BatchExecutor), of *measuring*
+/// one.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PipelineReport {
-    /// Makespan with two-stage overlap.
+    /// Makespan with two-stage overlap, in seconds.
     pub pipelined_s: f64,
-    /// Makespan with serial stage execution.
+    /// Makespan with serial stage execution, in seconds (the sum of every
+    /// task's `neural_s + symbolic_s`).
     pub serial_s: f64,
     /// Tasks scheduled.
     pub tasks: usize,
 }
 
 impl PipelineReport {
-    /// Fraction of serial time hidden by the overlap, in `[0, 1)`.
+    /// Fraction of the serial makespan hidden by the overlap:
+    /// `1 - pipelined_s / serial_s`. Dimensionless, **not** a percentage
+    /// and **not** a speedup factor (a gain of `0.5` means the pipelined
+    /// schedule takes half the serial time, i.e. a 2x speedup).
+    ///
+    /// For *modeled* schedules ([`TwoLevelPipeline::schedule`]) the value
+    /// is always in `[0, 1)`: the flow shop can never take longer than
+    /// serial execution, and the first task's stage-1 latency is never
+    /// hidden. For *measured* reports
+    /// ([`BatchReport::measured`](crate::BatchReport)) the value can dip
+    /// slightly below zero, because the wall clock includes thread
+    /// scheduling overhead that the per-stage sums exclude.
+    ///
+    /// An empty schedule (`serial_s == 0`) reports a gain of `0`.
     pub fn overlap_gain(&self) -> f64 {
         if self.serial_s == 0.0 {
             0.0

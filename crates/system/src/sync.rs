@@ -1,9 +1,9 @@
 //! Shared-memory flag synchronization (paper Sec. VI-B).
 //!
-//! "After executing [the] LLM kernel, SMs write the output to shared
-//! memory and set [the] `neural_ready` flag. REASON polls this flag,
+//! "After executing \[the\] LLM kernel, SMs write the output to shared
+//! memory and set \[the\] `neural_ready` flag. REASON polls this flag,
 //! fetches the data, and performs symbolic reasoning. It then writes the
-//! result back to shared memory and sets [the] `symbolic_ready` flag."
+//! result back to shared memory and sets \[the\] `symbolic_ready` flag."
 //!
 //! The model is thread-safe (host and device sides may run on different
 //! threads in tests and in the pipeline driver).

@@ -11,15 +11,33 @@
 //!
 //! | Workload | Paper system | Kernels | Datasets |
 //! |---|---|---|---|
-//! | [`models::alphageometry`] | AlphaGeometry [15] | FOL → grounding → SAT (cube-and-conquer) | IMO, MiniF2F |
-//! | [`models::r2guard`] | R²-Guard [22] | rule CNF → compiled PC, WMC | TwinSafety, XSTest |
-//! | [`models::gelato`] | GeLaTo [29] | HMM × keyword-DFA constrained generation | CommonGen, News |
-//! | [`models::ctrlg`] | Ctrl-G [23] | HMM text infilling under DFA constraints | CoAuthor |
-//! | [`models::neuropc`] | NeuroPC [30] | MLP features → PC classification | AwA2 |
-//! | [`models::linc`] | LINC [31] | FOL resolution proving | FOLIO, ProofWriter |
+//! | [`models::alphageometry`] | AlphaGeometry \[15\] | FOL → grounding → SAT (cube-and-conquer) | IMO, MiniF2F |
+//! | [`models::r2guard`] | R²-Guard \[22\] | rule CNF → compiled PC, WMC | TwinSafety, XSTest |
+//! | [`models::gelato`] | GeLaTo \[29\] | HMM × keyword-DFA constrained generation | CommonGen, News |
+//! | [`models::ctrlg`] | Ctrl-G \[23\] | HMM text infilling under DFA constraints | CoAuthor |
+//! | [`models::neuropc`] | NeuroPC \[30\] | MLP features → PC classification | AwA2 |
+//! | [`models::linc`] | LINC \[31\] | FOL resolution proving | FOLIO, ProofWriter |
 //!
 //! [`spec`] carries the dataset/scale/seed vocabulary; [`scaling`]
 //! implements the Fig. 2 scaling analyses.
+//!
+//! Everything is seeded and synthetic-with-ground-truth by construction:
+//! a [`TaskSpec`] fully determines a task, so experiments, benches, and
+//! the threaded executor can regenerate identical batches anywhere.
+//!
+//! # Example
+//!
+//! ```
+//! use reason_workloads::{model_for, Dataset, Scale, TaskSpec, Workload};
+//!
+//! let spec = TaskSpec::new(Dataset::TwinSafety, Scale::Small, 0);
+//! assert_eq!(spec.dataset.workload(), Workload::R2Guard);
+//! // Each workload model reports its symbolic kernel profiles…
+//! assert!(!model_for(Workload::R2Guard).kernel_profiles(&spec).is_empty());
+//! // …and its neural-side token counts.
+//! let (prompt, output) = model_for(Workload::R2Guard).neural_tokens(&spec);
+//! assert!(prompt > 0 && output > 0);
+//! ```
 
 pub mod models;
 pub mod scaling;

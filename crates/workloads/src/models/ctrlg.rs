@@ -1,6 +1,6 @@
 //! Ctrl-G-like workload: interactive text infilling under constraints.
 //!
-//! Ctrl-G (paper Table I, [23]) performs text editing with guaranteed
+//! Ctrl-G (paper Table I, \[23\]) performs text editing with guaranteed
 //! logical constraints over an HMM proxy of the LM. The analogue: the
 //! output must *begin with a given prefix* (the text being continued) and
 //! *contain a keyword* (the edit instruction). Both constraints compose

@@ -1,7 +1,7 @@
 //! LINC-like workload: first-order logical reasoning with a resolution
 //! prover.
 //!
-//! LINC (paper Table I, [31]) has an LLM translate natural-language
+//! LINC (paper Table I, \[31\]) has an LLM translate natural-language
 //! premises into FOL and delegates the reasoning to a symbolic prover.
 //! The analogue: synthetic FOLIO/ProofWriter-style rule bases — typed
 //! implication rules, facts, and distractors over a small constant domain

@@ -1,7 +1,7 @@
 //! NeuroPC-like workload: neural features + probabilistic-circuit
 //! classification.
 //!
-//! NeuroPC (paper Table I, [30]) pairs a DNN attribute detector with a
+//! NeuroPC (paper Table I, \[30\]) pairs a DNN attribute detector with a
 //! probabilistic circuit that reasons over attributes to produce
 //! interpretable class predictions (AwA2-style zero-shot attribute
 //! classification). The analogue: a ground-truth naive-Bayes generative

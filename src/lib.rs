@@ -15,14 +15,16 @@
 //!   network, watched-literal BCP hardware, and an energy/area model
 //!   ([`arch`]) with its mapping compiler ([`compiler`]);
 //! * baseline device models — GPU/CPU/TPU-like/DPU-like ([`sim`]);
-//! * system integration — the co-processor programming model and the
-//!   two-level pipeline ([`system`]);
+//! * system integration — the co-processor programming model, the
+//!   two-level pipeline cost model, and the threaded
+//!   [`BatchExecutor`](system::BatchExecutor) that runs mixed SAT/PC
+//!   batches with real stage overlap ([`system`]);
 //! * the evaluation workloads and datasets ([`workloads`]).
 //!
-//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
-//! `EXPERIMENTS.md` for the paper-vs-measured record of every table and
-//! figure. The `reason-eval` binary (in `reason-bench`) regenerates all
-//! experiments.
+//! See `README.md` for a tour and `docs/ARCHITECTURE.md` for the
+//! twelve-crate map, the end-to-end dataflow, and which paper section
+//! each crate reproduces. The `reason-eval` binary (in `reason-bench`)
+//! regenerates all experiments.
 //!
 //! # Quickstart
 //!

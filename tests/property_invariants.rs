@@ -13,7 +13,7 @@ use reason::compiler::ReasonCompiler;
 use reason::core::{dag_from_cnf, regularize};
 use reason::hmm::Hmm;
 use reason::pc::{compile_cnf, Evidence, WmcWeights};
-use reason::sat::{brute_force, CdclSolver, Cnf, Preprocessor};
+use reason::sat::{brute_force, CdclSolver, Cnf, CubeAndConquer, CubeConfig, Preprocessor};
 use reason::system::{StageCost, TwoLevelPipeline};
 
 /// A random small CNF as DIMACS-style clause lists.
@@ -113,6 +113,22 @@ proptest! {
         for row in hmm.filter(&obs) {
             let total: f64 = row.iter().sum();
             prop_assert!((total - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn parallel_cube_and_conquer_agrees_with_sequential(cnf in arb_cnf(8, 20)) {
+        // The conquer phase's worker knob changes the schedule, never the
+        // verdict; the parallel answer selection is deterministic (see
+        // CubeAndConquer::solve), so one parallel run fully represents
+        // every parallel run.
+        let config = CubeConfig { max_depth: 3, ..CubeConfig::default() };
+        let seq = CubeAndConquer::new(&cnf, config.clone()).solve();
+        let par =
+            CubeAndConquer::new(&cnf, CubeConfig { workers: 3, ..config }).solve();
+        prop_assert_eq!(seq.solution.is_sat(), par.solution.is_sat());
+        if let reason::sat::Solution::Sat(model) = &par.solution {
+            prop_assert!(cnf.eval(model));
         }
     }
 

@@ -1,12 +1,22 @@
-//! Offline stand-in for `crossbeam::thread` scoped threads, layered on
-//! `std::thread::scope` (stable since Rust 1.63).
+//! Offline stand-in for the two `crossbeam` facilities the workspace
+//! uses: [`thread`] (scoped threads) and [`channel`] (MPMC channels).
 //!
-//! API differences preserved from crossbeam: the closure passed to
-//! [`thread::scope`] receives a `&Scope` (so `scope.spawn(|_| ...)`
-//! works), and `scope` returns a `Result`. Unlike crossbeam, a panicking
-//! child propagates at the scope exit instead of surfacing as `Err` —
-//! every call site immediately `.expect()`s the result, so the observable
-//! behavior (test aborts with the panic payload) is the same.
+//! * [`thread`] layers crossbeam's scoped-thread API on
+//!   `std::thread::scope` (stable since Rust 1.63). API differences
+//!   preserved from crossbeam: the closure passed to [`thread::scope`]
+//!   receives a `&Scope` (so `scope.spawn(|_| ...)` works), and `scope`
+//!   returns a `Result`. Unlike crossbeam, a panicking child propagates
+//!   at the scope exit instead of surfacing as `Err` — every call site
+//!   immediately `.expect()`s the result, so the observable behavior
+//!   (test aborts with the panic payload) is the same.
+//! * [`channel`] implements the `unbounded()` multi-producer
+//!   multi-consumer queue subset ([`channel::Sender`] /
+//!   [`channel::Receiver`], both `Clone`) on a `Mutex<VecDeque>` +
+//!   `Condvar` instead of crossbeam's lock-free list. Disconnect
+//!   semantics match crossbeam: `recv` drains remaining messages after
+//!   the last sender drops, then reports [`channel::RecvError`]; `send`
+//!   into a receiver-less channel returns [`channel::SendError`]. This
+//!   is the work-queue fabric of `reason_system::BatchExecutor`.
 
 pub mod thread {
     /// Handle for spawning threads tied to the scope's lifetime.
@@ -37,6 +47,118 @@ pub mod thread {
     }
 }
 
+pub mod channel {
+    //! The `crossbeam::channel` subset: unbounded MPMC channels.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        cv: Condvar,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone;
+    /// carries the unsent message back, as crossbeam's does.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] once the channel is empty
+    /// and every sender is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The producing half; clone to add producers.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The consuming half; clone to add consumers (each message is
+    /// delivered to exactly one receiver).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            cv: Condvar::new(),
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message, failing only if no receiver remains.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.state.lock().unwrap();
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.shared.cv.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().unwrap().senders += 1;
+            Sender { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().unwrap();
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                // Wake receivers parked in recv so they observe the
+                // disconnect.
+                self.shared.cv.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives; drains queued messages after
+        /// the last sender disconnects, then reports [`RecvError`].
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.state.lock().unwrap();
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.cv.wait(state).unwrap();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().unwrap().receivers += 1;
+            Receiver { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.state.lock().unwrap().receivers -= 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -63,5 +185,55 @@ mod tests {
         })
         .expect("threads joined");
         assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn channel_fifo_single_consumer() {
+        let (tx, rx) = super::channel::unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = std::iter::from_fn(|| rx.recv().ok()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert_eq!(rx.recv(), Err(super::channel::RecvError));
+    }
+
+    #[test]
+    fn channel_mpmc_delivers_each_message_once() {
+        let (tx, rx) = super::channel::unbounded::<usize>();
+        let sum = AtomicUsize::new(0);
+        let count = AtomicUsize::new(0);
+        super::thread::scope(|scope| {
+            for _ in 0..3 {
+                let rx = rx.clone();
+                let (sum, count) = (&sum, &count);
+                scope.spawn(move |_| {
+                    while let Ok(v) = rx.recv() {
+                        sum.fetch_add(v, Ordering::SeqCst);
+                        count.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let tx = tx.clone();
+                scope.spawn(move |_| {
+                    for v in 1..=50 {
+                        tx.send(v).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+        })
+        .expect("threads joined");
+        assert_eq!(count.load(Ordering::SeqCst), 100);
+        assert_eq!(sum.load(Ordering::SeqCst), 2 * (1..=50).sum::<usize>());
+    }
+
+    #[test]
+    fn channel_send_fails_without_receivers() {
+        let (tx, rx) = super::channel::unbounded();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(super::channel::SendError(7)));
     }
 }
