@@ -1,0 +1,281 @@
+//! A-NeSI-style prediction networks: amortized approximate inference.
+//!
+//! A-NeSI (van Krieken et al., PAPERS.md) replaces repeated exact
+//! probabilistic inference with a neural *prediction network* trained
+//! on samples labeled by the exact engine. [`PredictionNet`] is that
+//! idea on this workspace's substrates: a small
+//! [`reason_neural::TrainableMlp`] fit to `(partial evidence →
+//! conditional probability of the formula)` pairs, where the labels
+//! come from the exact engine — a compiled circuit
+//! ([`reason_pc::compile_cnf`]) evaluated per training query.
+//!
+//! Once trained, a query costs one tiny MLP forward pass regardless of
+//! circuit size — the amortization A-NeSI trades training time for.
+//! The net also backs the guided branching of [`crate::guided`]:
+//! querying it at `x_v = 1` vs `x_v = 0` scores how strongly each
+//! variable's polarity matters to the formula.
+
+use rand::prelude::*;
+use reason_neural::{Matrix, Mlp, TrainableMlp};
+use reason_pc::{Circuit, Evidence, WmcWeights};
+
+/// Training schedule for [`PredictionNet::train_from_circuit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictConfig {
+    /// Exact-engine queries generated as the training set.
+    pub queries: usize,
+    /// Full-batch SGD epochs.
+    pub epochs: usize,
+    /// Hidden-layer width.
+    pub hidden: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// Seed for query generation and parameter initialization.
+    pub seed: u64,
+}
+
+impl Default for PredictConfig {
+    fn default() -> Self {
+        PredictConfig { queries: 512, epochs: 600, hidden: 32, lr: 0.35, seed: 0 }
+    }
+}
+
+/// A trained predictor of conditional formula probabilities
+/// `Pr[φ | e]` for partial evidence `e`.
+#[derive(Debug, Clone)]
+pub struct PredictionNet {
+    net: TrainableMlp,
+    num_vars: usize,
+}
+
+/// Encodes partial evidence as a two-hot feature row: feature `2v` is 1
+/// iff `x_v` is set to 1, feature `2v + 1` is 1 iff set to 0; free
+/// variables contribute zeros.
+fn encode(evidence: &[Option<bool>]) -> Vec<f32> {
+    let mut row = vec![0.0f32; 2 * evidence.len()];
+    for (v, e) in evidence.iter().enumerate() {
+        match e {
+            Some(true) => row[2 * v] = 1.0,
+            Some(false) => row[2 * v + 1] = 1.0,
+            None => {}
+        }
+    }
+    row
+}
+
+/// Exact conditional `Pr[φ | e]` from a compiled circuit plus the prior
+/// weights: `Pr[φ ∧ e] / Pr[e]`, where `Pr[e]` factorizes over the
+/// independent per-variable marginals.
+fn exact_conditional(circuit: &Circuit, weights: &WmcWeights, evidence: &[Option<bool>]) -> f64 {
+    let mut ev = Evidence::empty(evidence.len());
+    let mut prior = 1.0f64;
+    for (v, e) in evidence.iter().enumerate() {
+        if let Some(b) = e {
+            ev.set(v, usize::from(*b));
+            prior *= if *b { weights.prob(v) } else { 1.0 - weights.prob(v) };
+        }
+    }
+    if prior == 0.0 {
+        return 0.0;
+    }
+    (circuit.probability(&ev) / prior).clamp(0.0, 1.0)
+}
+
+impl PredictionNet {
+    /// Trains a predictor against the exact engine: generates `queries`
+    /// random partial-evidence patterns (each variable independently
+    /// free / set-1 / set-0), labels each with the exact conditional
+    /// from the compiled `circuit`, and fits the MLP. Returns the net
+    /// and the final training loss (mean BCE).
+    pub fn train_from_circuit(
+        circuit: &Circuit,
+        weights: &WmcWeights,
+        cfg: &PredictConfig,
+    ) -> (Self, f32) {
+        assert_eq!(weights.len(), circuit.num_vars(), "weights arity mismatch");
+        assert!(cfg.queries > 0 && cfg.epochs > 0, "training schedule must be positive");
+        let n = circuit.num_vars();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut xs = Vec::with_capacity(cfg.queries * 2 * n);
+        let mut ys = Vec::with_capacity(cfg.queries);
+        let mut evidence = vec![None; n];
+        for _ in 0..cfg.queries {
+            for e in evidence.iter_mut() {
+                *e = match rng.gen_range(0..3u32) {
+                    0 => None,
+                    1 => Some(true),
+                    _ => Some(false),
+                };
+            }
+            xs.extend(encode(&evidence));
+            ys.push(exact_conditional(circuit, weights, &evidence) as f32);
+        }
+        let x = Matrix::from_vec(cfg.queries, 2 * n, xs);
+        let y = Matrix::from_vec(cfg.queries, 1, ys);
+        let mut net = TrainableMlp::new(&[2 * n, cfg.hidden, 1], cfg.seed.wrapping_add(17));
+        let mut loss = f32::INFINITY;
+        for _ in 0..cfg.epochs {
+            loss = net.train_batch(&x, &y, cfg.lr);
+        }
+        (PredictionNet { net, num_vars: n }, loss)
+    }
+
+    /// Number of variables the predictor covers.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Predicted `Pr[φ | e]` for partial evidence `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `evidence.len() != self.num_vars()`.
+    pub fn predict(&self, evidence: &[Option<bool>]) -> f64 {
+        assert_eq!(evidence.len(), self.num_vars, "evidence arity mismatch");
+        let x = Matrix::from_vec(1, 2 * self.num_vars, encode(evidence));
+        f64::from(self.net.forward(&x).at(0, 0))
+    }
+
+    /// Predicted posterior marginal `q_v ≈ p(X_v = 1 | φ)` for every
+    /// variable, by Bayes over the net's two single-variable queries:
+    /// `q_v ∝ p_v · Pr[φ | x_v = 1]`.
+    ///
+    /// Degenerate predictions (both conditionals 0) fall back to the
+    /// prior marginal.
+    pub fn posterior_marginals(&self, weights: &WmcWeights) -> Vec<f64> {
+        assert_eq!(weights.len(), self.num_vars, "weights arity mismatch");
+        let mut evidence: Vec<Option<bool>> = vec![None; self.num_vars];
+        (0..self.num_vars)
+            .map(|v| {
+                evidence[v] = Some(true);
+                let pos = self.predict(&evidence) * weights.prob(v);
+                evidence[v] = Some(false);
+                let neg = self.predict(&evidence) * (1.0 - weights.prob(v));
+                evidence[v] = None;
+                if pos + neg > 0.0 {
+                    pos / (pos + neg)
+                } else {
+                    weights.prob(v)
+                }
+            })
+            .collect()
+    }
+
+    /// Freezes the predictor into an inference [`Mlp`] (sigmoid head),
+    /// runnable as a `reason_system` neural stage.
+    pub fn to_mlp(&self) -> Mlp {
+        self.net.to_mlp()
+    }
+
+    /// Parameter count of the underlying network.
+    pub fn num_params(&self) -> usize {
+        self.net.num_params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reason_pc::compile_cnf;
+    use reason_sat::{weighted_count, Cnf};
+
+    fn tractable_instance() -> (Cnf, WmcWeights) {
+        let cnf = Cnf::from_clauses(
+            6,
+            vec![vec![1, 2], vec![-2, 3], vec![-1, 4, 5], vec![3, -5, 6], vec![-4, -6]],
+        );
+        let w = WmcWeights::new(vec![0.4, 0.55, 0.5, 0.35, 0.6, 0.45]);
+        (cnf, w)
+    }
+
+    #[test]
+    fn encoding_is_two_hot() {
+        let row = encode(&[Some(true), None, Some(false)]);
+        assert_eq!(row, vec![1.0, 0.0, 0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn exact_conditional_matches_enumeration() {
+        let (cnf, w) = tractable_instance();
+        let circuit = compile_cnf(&cnf, &w).unwrap();
+        // Condition on x1 = 1: Pr[φ | x1] by brute force over a modified
+        // formula, using Pr[φ ∧ x1] = weighted_count(φ ∧ x1).
+        let mut with_unit = cnf.clone();
+        with_unit.add_dimacs_clause(&[2]);
+        let probs: Vec<f64> = (0..6).map(|v| w.prob(v)).collect();
+        let expect = weighted_count(&with_unit, &probs) / w.prob(1);
+        let mut evidence = vec![None; 6];
+        evidence[1] = Some(true);
+        let got = exact_conditional(&circuit, &w, &evidence);
+        assert!((got - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trained_net_tracks_exact_conditionals() {
+        let (cnf, w) = tractable_instance();
+        let circuit = compile_cnf(&cnf, &w).unwrap();
+        let (net, loss) =
+            PredictionNet::train_from_circuit(&circuit, &w, &PredictConfig::default());
+        assert!(loss.is_finite());
+
+        // Held-out evaluation: fresh random evidence patterns not tied to
+        // the training stream's seed.
+        let mut rng = StdRng::seed_from_u64(999);
+        let mut evidence: Vec<Option<bool>> = vec![None; 6];
+        let mut total_err = 0.0f64;
+        let trials = 60;
+        for _ in 0..trials {
+            for e in evidence.iter_mut() {
+                *e = match rng.gen_range(0..3u32) {
+                    0 => None,
+                    1 => Some(true),
+                    _ => Some(false),
+                };
+            }
+            total_err +=
+                (net.predict(&evidence) - exact_conditional(&circuit, &w, &evidence)).abs();
+        }
+        let mae = total_err / trials as f64;
+        assert!(mae < 0.1, "held-out MAE too high: {mae}");
+    }
+
+    #[test]
+    fn posterior_marginals_approach_circuit_marginals() {
+        let (cnf, w) = tractable_instance();
+        let circuit = compile_cnf(&cnf, &w).unwrap();
+        let (net, _) = PredictionNet::train_from_circuit(&circuit, &w, &PredictConfig::default());
+        let empty = Evidence::empty(6);
+        let q = net.posterior_marginals(&w);
+        for (v, qv) in q.iter().enumerate() {
+            let exact = circuit.marginal(&empty, v)[1];
+            assert!(
+                (qv - exact).abs() < 0.15,
+                "var {v}: predicted {qv} vs exact posterior {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn frozen_mlp_agrees_with_predictor() {
+        let (cnf, w) = tractable_instance();
+        let circuit = compile_cnf(&cnf, &w).unwrap();
+        let cfg = PredictConfig { queries: 128, epochs: 100, ..PredictConfig::default() };
+        let (net, _) = PredictionNet::train_from_circuit(&circuit, &w, &cfg);
+        let mlp = net.to_mlp();
+        let evidence = vec![Some(true), None, None, Some(false), None, None];
+        let x = Matrix::from_vec(1, 12, encode(&evidence));
+        assert!((f64::from(mlp.forward(&x).at(0, 0)) - net.predict(&evidence)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let (cnf, w) = tractable_instance();
+        let circuit = compile_cnf(&cnf, &w).unwrap();
+        let cfg = PredictConfig { queries: 64, epochs: 50, ..PredictConfig::default() };
+        let (a, la) = PredictionNet::train_from_circuit(&circuit, &w, &cfg);
+        let (b, lb) = PredictionNet::train_from_circuit(&circuit, &w, &cfg);
+        assert_eq!(la, lb);
+        let e = vec![None, Some(true), None, None, None, Some(false)];
+        assert_eq!(a.predict(&e), b.predict(&e));
+    }
+}

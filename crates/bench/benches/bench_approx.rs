@@ -1,0 +1,57 @@
+//! Approximate-inference benchmarks: the estimators of `reason-approx`
+//! against the exact engine they trade off against.
+//!
+//! `cargo bench --bench bench_approx` (shimmed timing; raise
+//! `CRITERION_SHIM_ITERS` for real measurements).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use reason_approx::{
+    adapt_mixture, is_wmc_mixture, mc_wmc, AdaptConfig, ApproxConfig, ApproxEngine, SampleConfig,
+};
+use reason_pc::{compile_cnf, Evidence, WmcWeights};
+use reason_sat::gen::random_ksat;
+
+fn bench_estimators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("approx_estimators");
+    let cnf = random_ksat(14, 36, 3, 11);
+    let weights = WmcWeights::uniform(14);
+    let sampling = SampleConfig { samples: 2048, checkpoint: 512, seed: 1 };
+
+    group
+        .bench_function("mc_wmc_2048", |b| b.iter(|| black_box(mc_wmc(&cnf, &weights, &sampling))));
+    group.bench_function("is_wmc_adapted_2048", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let acfg =
+                AdaptConfig { rounds: 4, batch: 256, components: 4, ..AdaptConfig::default() };
+            let mix = adapt_mixture(&cnf, &weights, &acfg, &mut rng);
+            black_box(is_wmc_mixture(&cnf, &weights, &mix, &sampling))
+        })
+    });
+    group.finish();
+}
+
+fn bench_exact_vs_approx(c: &mut Criterion) {
+    // The sweep's cheap end: exact compilation still tractable, so both
+    // sides can be timed head-to-head in one bench group.
+    let mut group = c.benchmark_group("exact_vs_approx");
+    for (n, m) in [(12usize, 30usize), (16, 40)] {
+        let cnf = random_ksat(n, m, 3, 21);
+        let weights = WmcWeights::uniform(n);
+        group.bench_with_input(BenchmarkId::new("exact_compile_wmc", n), &cnf, |b, cnf| {
+            b.iter(|| {
+                let circuit = compile_cnf(cnf, &weights);
+                black_box(circuit.map(|c| c.probability(&Evidence::empty(n))))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("approx_engine_wmc", n), &cnf, |b, cnf| {
+            let engine = ApproxEngine::new(ApproxConfig::seeded(3));
+            b.iter(|| black_box(engine.wmc(cnf, &weights)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators, bench_exact_vs_approx);
+criterion_main!(benches);

@@ -1,21 +1,77 @@
 //! `reason-eval` — regenerates every table and figure of the REASON
-//! paper's evaluation.
+//! paper's evaluation, plus the approximate-inference sweep.
 //!
 //! ```text
-//! reason-eval <experiment> [tasks] [workers]
+//! reason-eval <experiment> [tasks] [workers] [--json] [--seed N]
 //!   experiments: fig2 fig3a fig3b fig3c fig3d table2 table3 table4
-//!                fig8 fig11 fig12 fig13 table5 ablation dse pipeline all
-//!   pipeline: runs [tasks] mixed SAT/PC tasks on the threaded
+//!                fig8 fig9 fig11 fig12 fig13 table5 ablation dse
+//!                pipeline approx all
+//!   pipeline: runs [tasks] mixed SAT/PC/approx tasks on the threaded
 //!             BatchExecutor with [workers] symbolic workers
+//!   approx:   exact-vs-approximate WMC sweep (reason-approx)
+//!   --seed N: seeds the seedable experiments (approx, pipeline)
+//!   --json:   machine-readable output — native rows for approx, a
+//!             {"experiment", "text"} wrapper for the table/figure
+//!             experiments — so sweeps are scriptable
 //! ```
 
 use reason_bench::experiments;
+use reason_bench::json::Json;
+
+#[derive(Debug, Clone, Copy)]
+struct EvalOpts {
+    tasks: usize,
+    workers: usize,
+    seed: u64,
+    json: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: reason-eval <experiment> [tasks] [workers] [--json] [--seed N]\n\
+         experiments: fig2 fig3a fig3b fig3c fig3d table2 table3 table4 fig8 fig9 \
+         fig11 fig12 fig13 table5 ablation dse pipeline approx all"
+    );
+    std::process::exit(2);
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let which = args.get(1).map(String::as_str).unwrap_or("all");
-    let tasks: usize = args.get(2).and_then(|t| t.parse().ok()).unwrap_or(4);
-    let workers: usize = args.get(3).and_then(|t| t.parse().ok()).unwrap_or(4);
+    let mut which: Option<String> = None;
+    let mut positional: Vec<usize> = Vec::new();
+    let mut opts = EvalOpts { tasks: 4, workers: 4, seed: 42, json: false };
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(seed) => opts.seed = seed,
+                None => {
+                    eprintln!("--seed requires an integer value");
+                    usage();
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag `{flag}`");
+                usage();
+            }
+            _ if which.is_none() => which = Some(arg),
+            _ => match arg.parse() {
+                Ok(n) => positional.push(n),
+                Err(_) => {
+                    eprintln!("expected a number, got `{arg}`");
+                    usage();
+                }
+            },
+        }
+    }
+    let which = which.unwrap_or_else(|| "all".to_string());
+    if let Some(&t) = positional.first() {
+        opts.tasks = t;
+    }
+    if let Some(&w) = positional.get(1) {
+        opts.workers = w;
+    }
 
     let run = |name: &str| -> Option<String> {
         match name {
@@ -26,37 +82,63 @@ fn main() {
             "fig3d" => Some(experiments::fig3d()),
             "table2" => Some(experiments::table2()),
             "table3" => Some(experiments::table3()),
-            "table4" => Some(experiments::table4(tasks)),
+            "table4" => Some(experiments::table4(opts.tasks)),
             "fig8" => Some(experiments::fig8()),
             "fig9" => Some(experiments::fig9()),
-            "fig11" => Some(experiments::fig11(tasks)),
-            "fig12" => Some(experiments::fig12(tasks)),
+            "fig11" => Some(experiments::fig11(opts.tasks)),
+            "fig12" => Some(experiments::fig12(opts.tasks)),
             "fig13" => Some(experiments::fig13()),
-            "table5" => Some(experiments::table5(tasks)),
+            "table5" => Some(experiments::table5(opts.tasks)),
             "ablation" => Some(experiments::ablation()),
             "dse" => Some(experiments::dse()),
-            "pipeline" => Some(experiments::pipeline(tasks, workers)),
+            "pipeline" => Some(experiments::pipeline(opts.tasks, opts.workers, opts.seed)),
+            "approx" => Some(experiments::approx(opts.seed)),
             _ => None,
         }
     };
 
+    // Experiments with native machine-readable output; everything else
+    // is wrapped as {"experiment": ..., "text": ...} under --json.
+    let run_json = |name: &str| -> Option<Json> {
+        match name {
+            "approx" => Some(experiments::approx_json(opts.seed)),
+            _ => run(name).map(|text| {
+                Json::Obj(vec![
+                    ("experiment".into(), Json::Str(name.into())),
+                    ("text".into(), Json::Str(text)),
+                ])
+            }),
+        }
+    };
+
+    let all = [
+        "fig2", "fig3a", "fig3b", "fig3c", "fig3d", "table2", "table3", "table4", "fig8", "fig9",
+        "fig11", "fig12", "fig13", "table5", "ablation", "dse", "pipeline", "approx",
+    ];
     if which == "all" {
-        for name in [
-            "fig2", "fig3a", "fig3b", "fig3c", "fig3d", "table2", "table3", "table4", "fig8",
-            "fig9", "fig11", "fig12", "fig13", "table5", "ablation", "dse", "pipeline",
-        ] {
-            println!("{}", run(name).expect("known experiment"));
+        if opts.json {
+            let reports: Vec<Json> =
+                all.iter().map(|n| run_json(n).expect("known experiment")).collect();
+            println!("{}", Json::Arr(reports).render());
+        } else {
+            for name in all {
+                println!("{}", run(name).expect("known experiment"));
+            }
+        }
+    } else if opts.json {
+        match run_json(&which) {
+            Some(v) => println!("{}", v.render()),
+            None => {
+                eprintln!("unknown experiment `{which}`");
+                usage();
+            }
         }
     } else {
-        match run(which) {
+        match run(&which) {
             Some(text) => println!("{text}"),
             None => {
-                eprintln!(
-                    "unknown experiment `{which}`; expected one of: fig2 fig3a fig3b fig3c \
-                     fig3d table2 table3 table4 fig8 fig9 fig11 fig12 fig13 table5 ablation dse \
-                     pipeline all"
-                );
-                std::process::exit(2);
+                eprintln!("unknown experiment `{which}`");
+                usage();
             }
         }
     }

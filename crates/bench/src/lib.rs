@@ -22,6 +22,7 @@
 //! `docs/ARCHITECTURE.md` for where this harness sits in the workspace.
 
 pub mod experiments;
+pub mod json;
 
 use reason_arch::{ArchConfig, SymbolicEngine, VliwExecutor};
 use reason_compiler::ReasonCompiler;

@@ -15,6 +15,9 @@
 //!   kernel the tree-PE executes in SpMSpM mode).
 //! * [`mlp`] — multi-layer perceptron inference with parameter and FLOP
 //!   accounting.
+//! * [`train`] — SGD backpropagation for small MLPs: the substrate of
+//!   the A-NeSI-style prediction networks in `reason-approx`, frozen
+//!   back into inference [`Mlp`]s via [`TrainableMlp::to_mlp`].
 //! * [`proxy`] — an LLM cost proxy: FLOPs, bytes moved, and token-loop
 //!   latency modeling calibrated by parameter count, standing in for the
 //!   LLaMA-class models of the paper's workloads.
@@ -41,8 +44,10 @@ pub mod mlp;
 pub mod proxy;
 pub mod sparse;
 pub mod tensor;
+pub mod train;
 
 pub use mlp::{Mlp, MlpBuilder};
 pub use proxy::{LlmProxy, NeuralCost};
 pub use sparse::CsrMatrix;
 pub use tensor::Matrix;
+pub use train::TrainableMlp;

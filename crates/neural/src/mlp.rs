@@ -16,11 +16,12 @@ struct Layer {
 }
 
 /// A feed-forward network of dense layers with optional ReLU activations
-/// and a softmax output head.
+/// and a softmax or sigmoid output head.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Mlp {
     layers: Vec<Layer>,
     softmax_output: bool,
+    sigmoid_output: bool,
 }
 
 /// Builder for [`Mlp`].
@@ -43,12 +44,13 @@ pub struct MlpBuilder {
     input_dim: usize,
     layers: Vec<Layer>,
     softmax_output: bool,
+    sigmoid_output: bool,
 }
 
 impl MlpBuilder {
     /// Starts a builder for inputs of width `input_dim`.
     pub fn new(input_dim: usize) -> Self {
-        MlpBuilder { input_dim, layers: Vec::new(), softmax_output: false }
+        MlpBuilder { input_dim, layers: Vec::new(), softmax_output: false, sigmoid_output: false }
     }
 
     /// Appends a dense layer with `width` outputs and seeded random
@@ -62,15 +64,43 @@ impl MlpBuilder {
         self
     }
 
+    /// Appends a dense layer with explicit parameters — how trained
+    /// networks ([`crate::train::TrainableMlp`]) are frozen into
+    /// inference [`Mlp`]s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight.rows()` does not match the previous layer's
+    /// output width (or `input_dim` for the first layer), or if
+    /// `bias.len() != weight.cols()`.
+    pub fn layer_with_params(mut self, weight: Matrix, bias: Vec<f32>, relu: bool) -> Self {
+        let in_dim = self.layers.last().map_or(self.input_dim, |l| l.weight.cols());
+        assert_eq!(weight.rows(), in_dim, "layer input width mismatch");
+        assert_eq!(bias.len(), weight.cols(), "bias length mismatch");
+        self.layers.push(Layer { weight, bias, relu });
+        self
+    }
+
     /// Enables a softmax output head.
     pub fn softmax(mut self) -> Self {
         self.softmax_output = true;
         self
     }
 
+    /// Enables an elementwise sigmoid output head (probability outputs,
+    /// as in the approximate-inference prediction networks).
+    pub fn sigmoid(mut self) -> Self {
+        self.sigmoid_output = true;
+        self
+    }
+
     /// Finalizes the network.
     pub fn build(self) -> Mlp {
-        Mlp { layers: self.layers, softmax_output: self.softmax_output }
+        Mlp {
+            layers: self.layers,
+            softmax_output: self.softmax_output,
+            sigmoid_output: self.sigmoid_output,
+        }
     }
 }
 
@@ -92,6 +122,9 @@ impl Mlp {
         }
         if self.softmax_output {
             x.softmax_rows();
+        }
+        if self.sigmoid_output {
+            x.sigmoid();
         }
         x
     }

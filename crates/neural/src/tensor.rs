@@ -135,6 +135,34 @@ impl Matrix {
         }
     }
 
+    /// Mutable access to the underlying row-major data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// The transposed matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Applies a numerically stable logistic sigmoid in place.
+    pub fn sigmoid(&mut self) {
+        for x in &mut self.data {
+            *x = if *x >= 0.0 {
+                1.0 / (1.0 + (-*x).exp())
+            } else {
+                let e = x.exp();
+                e / (1.0 + e)
+            };
+        }
+    }
+
     /// Fraction of zero entries.
     pub fn sparsity(&self) -> f64 {
         if self.data.is_empty() {
@@ -185,6 +213,25 @@ mod tests {
         }
         // Large magnitudes stay finite.
         assert!(m.data().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn transpose_roundtrips() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let t = a.transpose();
+        assert_eq!((t.rows(), t.cols()), (3, 2));
+        assert_eq!(t.data(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_and_bounded() {
+        let mut m = Matrix::from_vec(1, 4, vec![-100.0, 0.0, 2.0, 100.0]);
+        m.sigmoid();
+        assert!(m.data().iter().all(|x| x.is_finite() && (0.0..=1.0).contains(x)));
+        assert!((m.at(0, 1) - 0.5).abs() < 1e-6);
+        assert!(m.at(0, 0) < 1e-6);
+        assert!(m.at(0, 3) > 1.0 - 1e-6);
     }
 
     #[test]

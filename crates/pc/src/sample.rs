@@ -1,5 +1,6 @@
 //! Forward sampling from probabilistic circuits.
 
+use rand::dist::sample_categorical;
 use rand::Rng;
 
 use crate::circuit::{Circuit, NodeId, PcNode};
@@ -23,29 +24,16 @@ pub fn sample<R: Rng + ?Sized>(circuit: &Circuit, rng: &mut R) -> Vec<usize> {
             PcNode::Indicator { var, value } => assignment[*var] = *value,
             PcNode::Categorical { var, log_probs } => {
                 let probs: Vec<f64> = log_probs.iter().map(|lp| lp.exp()).collect();
-                assignment[*var] = pick(&probs, rng);
+                assignment[*var] = sample_categorical(rng, &probs);
             }
             PcNode::Product { children } => stack.extend(children.iter().copied()),
             PcNode::Sum { children, log_weights } => {
                 let ws: Vec<f64> = log_weights.iter().map(|lw| lw.exp()).collect();
-                stack.push(children[pick(&ws, rng)]);
+                stack.push(children[sample_categorical(rng, &ws)]);
             }
         }
     }
     assignment
-}
-
-fn pick<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
-    let total: f64 = weights.iter().sum();
-    assert!(total > 0.0, "cannot sample from zero total weight");
-    let mut u = rng.gen_range(0.0..total);
-    for (i, w) in weights.iter().enumerate() {
-        if u < *w {
-            return i;
-        }
-        u -= w;
-    }
-    weights.len() - 1
 }
 
 #[cfg(test)]

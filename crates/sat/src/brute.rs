@@ -61,6 +61,48 @@ pub fn count_models(cnf: &Cnf) -> u64 {
     count
 }
 
+/// Computes the weighted model count exactly by enumeration: the total
+/// probability mass of satisfying assignments under independent
+/// per-variable Bernoulli marginals `probs[v] = p(X_v = 1)`.
+///
+/// This is the reference oracle the approximate inference engine
+/// (`reason-approx`) and the circuit compiler (`reason-pc`) are both
+/// validated against.
+///
+/// # Panics
+///
+/// Panics if `probs.len() != cnf.num_vars()`, if any probability lies
+/// outside `[0, 1]`, or if the formula has more than [`MAX_BRUTE_VARS`]
+/// variables.
+///
+/// ```
+/// use reason_sat::{weighted_count, Cnf};
+/// // x0 | x1: Z = 1 - (1-0.3)(1-0.5) = 0.65.
+/// let cnf = Cnf::from_clauses(2, vec![vec![1, 2]]);
+/// assert!((weighted_count(&cnf, &[0.3, 0.5]) - 0.65).abs() < 1e-12);
+/// ```
+pub fn weighted_count(cnf: &Cnf, probs: &[f64]) -> f64 {
+    let n = cnf.num_vars();
+    assert!(n <= MAX_BRUTE_VARS, "weighted counting limited to {MAX_BRUTE_VARS} variables");
+    assert_eq!(probs.len(), n, "weights arity mismatch");
+    assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)), "probabilities must be in [0,1]");
+    let mut total = 0.0;
+    let mut model = vec![false; n];
+    for bits in 0u64..(1u64 << n) {
+        for (v, slot) in model.iter_mut().enumerate() {
+            *slot = bits >> v & 1 == 1;
+        }
+        if cnf.eval(&model) {
+            let mut w = 1.0;
+            for (v, &b) in model.iter().enumerate() {
+                w *= if b { probs[v] } else { 1.0 - probs[v] };
+            }
+            total += w;
+        }
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,6 +126,30 @@ mod tests {
         // x0 XOR x1 = (x0|x1) & (!x0|!x1)
         let cnf = Cnf::from_clauses(2, vec![vec![1, 2], vec![-1, -2]]);
         assert_eq!(count_models(&cnf), 2);
+    }
+
+    #[test]
+    fn uniform_weighted_count_is_model_fraction() {
+        let cnf = Cnf::from_clauses(3, vec![vec![1, 2], vec![-2, 3]]);
+        let z = weighted_count(&cnf, &[0.5; 3]);
+        assert!((z - count_models(&cnf) as f64 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_count_respects_marginals() {
+        // Single unit clause x0: Z = p(x0 = 1).
+        let cnf = Cnf::from_clauses(2, vec![vec![1]]);
+        assert!((weighted_count(&cnf, &[0.9, 0.4]) - 0.9).abs() < 1e-12);
+        // Unsatisfiable: zero mass regardless of weights.
+        let unsat = Cnf::from_clauses(1, vec![vec![1], vec![-1]]);
+        assert_eq!(weighted_count(&unsat, &[0.7]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn weighted_count_checks_arity() {
+        let cnf = Cnf::new(2);
+        let _ = weighted_count(&cnf, &[0.5]);
     }
 
     #[test]

@@ -53,8 +53,11 @@ pub mod lookahead;
 pub mod preprocess;
 pub mod types;
 
-pub use brute::{brute_force, count_models};
-pub use cdcl::{CdclConfig, CdclSolver, SolverObserver, SolverStats};
+pub use brute::{brute_force, count_models, weighted_count};
+pub use cdcl::{
+    BranchView, BranchingHeuristic, CdclConfig, CdclSolver, SolverObserver, SolverStats,
+    VsidsBranching,
+};
 pub use cnf::{Cnf, DimacsError};
 pub use cube::{CubeAndConquer, CubeConfig, CubeOutcome};
 pub use dpll::DpllSolver;

@@ -39,8 +39,9 @@ use std::time::{Duration, Instant};
 use crossbeam::channel;
 use crossbeam::thread;
 use parking_lot::Mutex;
+use reason_approx::{ApproxConfig, ApproxEngine};
 use reason_neural::{LlmProxy, Matrix, Mlp, MlpBuilder};
-use reason_pc::{random_mixture_circuit, Circuit, Evidence, StructureConfig};
+use reason_pc::{random_mixture_circuit, Circuit, Evidence, StructureConfig, WmcWeights};
 use reason_sat::gen::random_ksat;
 use reason_sat::{Cnf, CubeAndConquer, CubeConfig, Solution};
 
@@ -103,6 +104,18 @@ pub enum SymbolicStage {
         /// The (partial) evidence to marginalize over.
         evidence: Evidence,
     },
+    /// Approximate weighted model counting on the `reason-approx`
+    /// engine: anytime-bounded WMC where exact compilation would not
+    /// fit the latency budget. Seeded, so verdicts stay bit-identical
+    /// across executor configurations.
+    Approx {
+        /// The formula.
+        cnf: Cnf,
+        /// Per-variable Bernoulli marginals, `probs[v] = p(X_v = 1)`.
+        probs: Vec<f64>,
+        /// Estimator configuration (method, budget, seed).
+        config: ApproxConfig,
+    },
     /// A synthetic stage of known duration (sleeps).
     Synthetic {
         /// How long the stage takes.
@@ -130,6 +143,15 @@ pub enum Verdict {
     Sat(Solution),
     /// Log-probability of the evidence under the circuit.
     LogMarginal(f64),
+    /// Approximate weighted model count with its anytime bracket.
+    Wmc {
+        /// Point estimate of the weighted model count.
+        estimate: f64,
+        /// Lower confidence bound.
+        lower: f64,
+        /// Upper confidence bound.
+        upper: f64,
+    },
     /// A synthetic stage completed.
     Done,
 }
@@ -391,6 +413,10 @@ fn run_symbolic(stage: &SymbolicStage) -> Verdict {
         SymbolicStage::Pc { circuit, evidence } => {
             Verdict::LogMarginal(circuit.log_probability(evidence))
         }
+        SymbolicStage::Approx { cnf, probs, config } => {
+            let est = ApproxEngine::new(*config).wmc(cnf, &WmcWeights::new(probs.clone()));
+            Verdict::Wmc { estimate: est.estimate, lower: est.lower, upper: est.upper }
+        }
         SymbolicStage::Synthetic { duration } => {
             std::thread::sleep(*duration);
             Verdict::Done
@@ -398,8 +424,11 @@ fn run_symbolic(stage: &SymbolicStage) -> Verdict {
     }
 }
 
-/// A seeded mixed SAT/PC batch with MLP neural stages — the workload the
-/// `reason-eval pipeline` experiment and the pipeline bench drive.
+/// A seeded mixed SAT/PC/approx batch with MLP neural stages — the
+/// workload the `reason-eval pipeline` experiment and the pipeline
+/// bench drive. Lanes rotate SAT cube-and-conquer, exact PC marginal
+/// inference, and anytime approximate WMC (a trimmed-budget
+/// [`ApproxConfig`], so demo batches stay interactive).
 pub fn demo_batch(tasks: usize, seed: u64) -> Vec<BatchTask> {
     (0..tasks)
         .map(|i| {
@@ -408,25 +437,47 @@ pub fn demo_batch(tasks: usize, seed: u64) -> Vec<BatchTask> {
                 MlpBuilder::new(16).layer(32, true, s).layer(8, false, s + 1).softmax().build();
             let input = Matrix::random(4, 16, 1.0, s + 2);
             let neural = NeuralStage::Mlp { mlp, input };
-            let symbolic = if i % 2 == 0 {
-                SymbolicStage::Sat {
+            let symbolic = match i % 3 {
+                0 => SymbolicStage::Sat {
                     cnf: random_ksat(12, 50, 3, s + 3),
                     config: CubeConfig { max_depth: 3, ..CubeConfig::default() },
+                },
+                1 => {
+                    let circuit = random_mixture_circuit(&StructureConfig {
+                        num_vars: 8,
+                        depth: 3,
+                        num_components: 2,
+                        seed: s + 4,
+                    });
+                    let mut evidence = Evidence::empty(8);
+                    evidence.set(0, (i / 2) % 2);
+                    SymbolicStage::Pc { circuit, evidence }
                 }
-            } else {
-                let circuit = random_mixture_circuit(&StructureConfig {
-                    num_vars: 8,
-                    depth: 3,
-                    num_components: 2,
-                    seed: s + 4,
-                });
-                let mut evidence = Evidence::empty(8);
-                evidence.set(0, (i / 2) % 2);
-                SymbolicStage::Pc { circuit, evidence }
+                _ => SymbolicStage::Approx {
+                    cnf: random_ksat(14, 40, 3, s + 5),
+                    probs: (0..14).map(|v| 0.35 + 0.02 * v as f64).collect(),
+                    config: demo_approx_config(s + 6),
+                },
             };
             BatchTask { name: format!("task-{i}"), neural, symbolic }
         })
         .collect()
+}
+
+/// The trimmed approximate-inference budget demo batches run with:
+/// small enough to keep executor tests and smoke runs interactive,
+/// still seeded and anytime-bounded.
+pub fn demo_approx_config(seed: u64) -> ApproxConfig {
+    ApproxConfig {
+        sampling: reason_approx::SampleConfig { samples: 2048, checkpoint: 256, seed },
+        adapt: reason_approx::AdaptConfig {
+            rounds: 4,
+            batch: 256,
+            components: 4,
+            ..reason_approx::AdaptConfig::default()
+        },
+        ..ApproxConfig::default()
+    }
 }
 
 /// A batch of synthetic tasks with controlled stage durations, given as
@@ -533,6 +584,42 @@ mod tests {
         assert!(report.results.is_empty());
         assert_eq!(report.measured.tasks, 0);
         assert_eq!(report.measured.serial_s, 0.0);
+    }
+
+    #[test]
+    fn approx_lane_reports_bracketed_wmc_deterministically() {
+        let tasks = vec![BatchTask {
+            name: "approx".into(),
+            neural: NeuralStage::Synthetic { duration: Duration::from_millis(1) },
+            symbolic: SymbolicStage::Approx {
+                cnf: random_ksat(12, 36, 3, 9),
+                probs: vec![0.5; 12],
+                config: demo_approx_config(42),
+            },
+        }];
+        let serial = BatchExecutor::new(ExecutorConfig::sequential()).run(&tasks);
+        let threaded = BatchExecutor::new(ExecutorConfig::overlapped(2)).run(&tasks);
+        // Seeded estimation: identical verdicts bit-for-bit across pool
+        // shapes, and the bracket is well-formed.
+        assert!(threaded.agrees_with(&serial));
+        match &serial.results[0].verdict {
+            Verdict::Wmc { estimate, lower, upper } => {
+                assert!(lower <= estimate && estimate <= upper);
+                assert!((0.0..=1.0).contains(lower) && (0.0..=1.0).contains(upper));
+            }
+            other => panic!("expected a WMC verdict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn demo_batch_rotates_all_three_symbolic_lanes() {
+        let tasks = demo_batch(6, 0);
+        assert!(matches!(tasks[0].symbolic, SymbolicStage::Sat { .. }));
+        assert!(matches!(tasks[1].symbolic, SymbolicStage::Pc { .. }));
+        assert!(matches!(tasks[2].symbolic, SymbolicStage::Approx { .. }));
+        let report = BatchExecutor::new(ExecutorConfig::overlapped(2)).run(&tasks);
+        let wmc = report.verdicts().iter().filter(|v| matches!(v, Verdict::Wmc { .. })).count();
+        assert_eq!(wmc, 2);
     }
 
     #[test]

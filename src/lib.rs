@@ -49,6 +49,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub use reason_approx as approx;
 pub use reason_arch as arch;
 pub use reason_compiler as compiler;
 pub use reason_core as core;

@@ -143,6 +143,51 @@ proptest! {
         let symbolic_total: f64 = tasks.iter().map(|t| t.symbolic_s).sum();
         prop_assert!(report.pipelined_s + 1e-9 >= neural_total.max(symbolic_total));
     }
+
+    #[test]
+    fn compiled_wmc_agrees_with_brute_weighted_count(cnf in arb_cnf(8, 16), seed in 0u64..10_000) {
+        // Pins the oracle pair the approximate engine is validated
+        // against: knowledge compilation (pc::compile) and exhaustive
+        // weighted enumeration (sat::brute) must agree on every random
+        // small CNF under shared-seed random weights.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let probs: Vec<f64> = (0..8).map(|_| rng.gen_range(0.05..0.95)).collect();
+        let exact = reason::sat::weighted_count(&cnf, &probs);
+        match compile_cnf(&cnf, &WmcWeights::new(probs)) {
+            Some(circuit) => {
+                let wmc = circuit.probability(&Evidence::empty(8));
+                prop_assert!((wmc - exact).abs() < 1e-9, "compiled {} vs brute {}", wmc, exact);
+            }
+            None => prop_assert!(exact == 0.0, "UNSAT compile but brute mass {}", exact),
+        }
+    }
+
+    #[test]
+    fn approx_brackets_are_well_formed_and_track_brute_truth(cnf in arb_cnf(8, 14), seed in 0u64..1000) {
+        // Small-budget Monte-Carlo WMC: the anytime bracket must be
+        // well-formed at every checkpoint, and the enumerated truth must
+        // sit within the 4σ envelope plus a small absolute slack. (The
+        // envelope itself is a confidence interval — a *strict*
+        // containment assertion over many thousands of property cases
+        // would flake on the expected tail; the slack turns the check
+        // into a ~6σ event, negligible at any case count.)
+        let est = reason::approx::mc_wmc(
+            &cnf,
+            &WmcWeights::uniform(8),
+            &reason::approx::SampleConfig { samples: 2048, checkpoint: 512, seed },
+        );
+        prop_assert!(est.lower <= est.estimate && est.estimate <= est.upper);
+        for p in est.trace.points() {
+            prop_assert!(p.lower <= p.estimate && p.estimate <= p.upper);
+            prop_assert!((0.0..=1.0).contains(&p.lower) && (0.0..=1.0).contains(&p.upper));
+        }
+        let exact = reason::sat::weighted_count(&cnf, &[0.5; 8]);
+        prop_assert!(
+            exact >= est.lower - 0.02 && exact <= est.upper + 0.02,
+            "[{}, {}] (+-0.02) misses brute truth {}", est.lower, est.upper, exact
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,162 @@
+//! Categorical and Gumbel sampling helpers.
+//!
+//! These back the samplers in `reason-approx` (ancestral circuit
+//! sampling, proposal sampling) and the categorical draws in
+//! `reason-pc`. They live in the shim rather than a consumer crate so
+//! every sampler in the workspace draws categoricals the same way.
+//!
+//! **Stream-mismatch caveat:** like everything in this shim, these
+//! helpers are deterministic per seed but do *not* reproduce real
+//! `rand`'s (or `rand_distr`'s) value stream. `sample_categorical`
+//! consumes exactly one `f64` draw and `sample_gumbel` exactly one —
+//! real rand's `WeightedIndex`/`Gumbel` consume differently, so tests
+//! must assert on distributional properties (frequencies, argmax
+//! agreement), never on concrete sampled sequences.
+
+use crate::{Rng, RngCore};
+
+/// Draws an index proportionally to `weights` (unnormalized, linear
+/// space) with a single uniform draw and a linear scan.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty, contains a negative or non-finite
+/// entry, or sums to zero.
+pub fn sample_categorical<R: RngCore + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "cannot sample from empty weights");
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+        "weights must be finite and non-negative"
+    );
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "cannot sample from zero total weight");
+    let mut u = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if u < *w {
+            return i;
+        }
+        u -= w;
+    }
+    // Floating-point slack: the scan can fall off the end when u ends up
+    // within rounding error of `total`; the last positive-weight index is
+    // the correct bucket.
+    weights.iter().rposition(|w| *w > 0.0).expect("total > 0 implies a positive weight")
+}
+
+/// Draws one standard Gumbel(0, 1) variate: `-ln(-ln(u))` for uniform
+/// `u`, with `u` nudged into the open interval so the result is finite.
+pub fn sample_gumbel<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let u: f64 = rng.gen::<f64>().clamp(1e-300, 1.0 - 1e-16);
+    -(-u.ln()).ln()
+}
+
+/// The Gumbel-max trick: `argmax_i (log_weights[i] + G_i)` is a sample
+/// from the categorical with the given log-weights. Entries of
+/// `f64::NEG_INFINITY` (zero probability) are never selected.
+///
+/// # Panics
+///
+/// Panics if `log_weights` is empty or every entry is negative infinity.
+pub fn gumbel_argmax<R: RngCore + ?Sized>(rng: &mut R, log_weights: &[f64]) -> usize {
+    assert!(!log_weights.is_empty(), "cannot sample from empty log-weights");
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &lw) in log_weights.iter().enumerate() {
+        // One Gumbel draw per entry keeps the stream length a function of
+        // the arity alone (important for seed-stable consumers).
+        let g = sample_gumbel(rng);
+        if lw == f64::NEG_INFINITY {
+            continue;
+        }
+        let key = lw + g;
+        if best.is_none_or(|(_, b)| key > b) {
+            best = Some((i, key));
+        }
+    }
+    best.expect("at least one finite log-weight").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn categorical_is_deterministic_per_seed() {
+        let w = [0.2, 0.5, 0.3];
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..64).map(|_| sample_categorical(&mut rng, &w)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..64).map(|_| sample_categorical(&mut rng, &w)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn categorical_frequencies_approach_weights() {
+        let w = [1.0, 3.0, 6.0];
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 3];
+        let n = 30_000;
+        for _ in 0..n {
+            counts[sample_categorical(&mut rng, &w)] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            let freq = *c as f64 / n as f64;
+            let expect = w[i] / 10.0;
+            assert!((freq - expect).abs() < 0.02, "bucket {i}: {freq} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn categorical_skips_zero_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            assert_eq!(sample_categorical(&mut rng, &[0.0, 1.0, 0.0]), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero total weight")]
+    fn categorical_rejects_zero_total() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = sample_categorical(&mut rng, &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn gumbel_draws_are_finite_with_plausible_location() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| sample_gumbel(&mut rng)).sum::<f64>() / n as f64;
+        // E[Gumbel(0,1)] = Euler–Mascheroni ≈ 0.5772.
+        assert!((mean - 0.5772).abs() < 0.05, "sample mean {mean}");
+    }
+
+    #[test]
+    fn gumbel_argmax_matches_categorical_distribution() {
+        let w = [0.1, 0.6, 0.3];
+        let lw: Vec<f64> = w.iter().map(|x: &f64| x.ln()).collect();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 3];
+        let n = 30_000;
+        for _ in 0..n {
+            counts[gumbel_argmax(&mut rng, &lw)] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            let freq = *c as f64 / n as f64;
+            assert!((freq - w[i]).abs() < 0.02, "bucket {i}: {freq} vs {}", w[i]);
+        }
+    }
+
+    #[test]
+    fn gumbel_argmax_never_selects_impossible_entries() {
+        let lw = [f64::NEG_INFINITY, 0.0, f64::NEG_INFINITY];
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            assert_eq!(gumbel_argmax(&mut rng, &lw), 1);
+        }
+    }
+}

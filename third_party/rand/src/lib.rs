@@ -10,6 +10,8 @@
 
 use std::ops::{Range, RangeInclusive};
 
+pub mod dist;
+
 /// Low-level source of randomness (subset of `rand_core::RngCore`).
 pub trait RngCore {
     fn next_u64(&mut self) -> u64;
@@ -265,6 +267,7 @@ pub mod seq {
 }
 
 pub mod prelude {
+    pub use super::dist::{gumbel_argmax, sample_categorical, sample_gumbel};
     pub use super::rngs::StdRng;
     pub use super::seq::SliceRandom;
     pub use super::{Rng, RngCore, SeedableRng};
