@@ -17,7 +17,8 @@
 
 use rand::prelude::*;
 use reason_neural::{Matrix, Mlp, TrainableMlp};
-use reason_pc::{Circuit, Evidence, WmcWeights};
+use reason_pc::{Circuit, CompiledWmc, EvalBuffer, Evidence, WmcWeights};
+use reason_sat::Cnf;
 
 /// Training schedule for [`PredictionNet::train_from_circuit`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -65,20 +66,32 @@ fn encode(evidence: &[Option<bool>]) -> Vec<f32> {
 
 /// Exact conditional `Pr[φ | e]` from a compiled circuit plus the prior
 /// weights: `Pr[φ ∧ e] / Pr[e]`, where `Pr[e]` factorizes over the
-/// independent per-variable marginals.
-fn exact_conditional(circuit: &Circuit, weights: &WmcWeights, evidence: &[Option<bool>]) -> f64 {
-    let mut ev = Evidence::empty(evidence.len());
+/// independent per-variable marginals. The evidence object and
+/// evaluation buffer are caller-held so training sweeps (thousands of
+/// labels against one circuit) never allocate per query.
+fn exact_conditional(
+    circuit: &Circuit,
+    weights: &WmcWeights,
+    evidence: &[Option<bool>],
+    ev: &mut Evidence,
+    buf: &mut EvalBuffer,
+) -> f64 {
     let mut prior = 1.0f64;
     for (v, e) in evidence.iter().enumerate() {
-        if let Some(b) = e {
-            ev.set(v, usize::from(*b));
-            prior *= if *b { weights.prob(v) } else { 1.0 - weights.prob(v) };
+        match e {
+            Some(b) => {
+                ev.set(v, usize::from(*b));
+                prior *= if *b { weights.prob(v) } else { 1.0 - weights.prob(v) };
+            }
+            None => {
+                ev.clear(v);
+            }
         }
     }
     if prior == 0.0 {
         return 0.0;
     }
-    (circuit.probability(&ev) / prior).clamp(0.0, 1.0)
+    (circuit.probability_with(ev, buf) / prior).clamp(0.0, 1.0)
 }
 
 impl PredictionNet {
@@ -99,6 +112,11 @@ impl PredictionNet {
         let mut xs = Vec::with_capacity(cfg.queries * 2 * n);
         let mut ys = Vec::with_capacity(cfg.queries);
         let mut evidence = vec![None; n];
+        // One evidence object and one evaluation buffer serve every
+        // training label — the exact oracle is queried thousands of
+        // times here, so per-query allocation would dominate.
+        let mut ev = Evidence::empty(n);
+        let mut buf = EvalBuffer::new();
         for _ in 0..cfg.queries {
             for e in evidence.iter_mut() {
                 *e = match rng.gen_range(0..3u32) {
@@ -108,7 +126,7 @@ impl PredictionNet {
                 };
             }
             xs.extend(encode(&evidence));
-            ys.push(exact_conditional(circuit, weights, &evidence) as f32);
+            ys.push(exact_conditional(circuit, weights, &evidence, &mut ev, &mut buf) as f32);
         }
         let x = Matrix::from_vec(cfg.queries, 2 * n, xs);
         let y = Matrix::from_vec(cfg.queries, 1, ys);
@@ -118,6 +136,23 @@ impl PredictionNet {
             loss = net.train_batch(&x, &y, cfg.lr);
         }
         (PredictionNet { net, num_vars: n }, loss)
+    }
+
+    /// Trains a predictor straight from a CNF formula: compiles it once
+    /// through the exact engine's compiled-reuse oracle
+    /// ([`reason_pc::CompiledWmc`], backed by the top-down
+    /// component-caching compiler) and labels the training set from the
+    /// cached circuit. Returns `None` when the formula carries no
+    /// satisfying mass under `weights` — unsatisfiable outright, or
+    /// every model killed by a zero-probability weight — since there
+    /// is then no conditional distribution to learn.
+    pub fn train_from_cnf(
+        cnf: &Cnf,
+        weights: &WmcWeights,
+        cfg: &PredictConfig,
+    ) -> Option<(Self, f32)> {
+        let oracle = CompiledWmc::new(cnf, weights);
+        oracle.circuit().map(|c| Self::train_from_circuit(c, weights, cfg))
     }
 
     /// Number of variables the predictor covers.
@@ -206,8 +241,15 @@ mod tests {
         let expect = weighted_count(&with_unit, &probs) / w.prob(1);
         let mut evidence = vec![None; 6];
         evidence[1] = Some(true);
-        let got = exact_conditional(&circuit, &w, &evidence);
+        let mut ev = Evidence::empty(6);
+        let mut buf = EvalBuffer::new();
+        let got = exact_conditional(&circuit, &w, &evidence, &mut ev, &mut buf);
         assert!((got - expect).abs() < 1e-9);
+        // The shared evidence object is fully reset between queries:
+        // an unrelated follow-up query sees no stale assignments.
+        let free = vec![None; 6];
+        let got_free = exact_conditional(&circuit, &w, &free, &mut ev, &mut buf);
+        assert!((got_free - weighted_count(&cnf, &probs)).abs() < 1e-9);
     }
 
     #[test]
@@ -222,6 +264,8 @@ mod tests {
         // the training stream's seed.
         let mut rng = StdRng::seed_from_u64(999);
         let mut evidence: Vec<Option<bool>> = vec![None; 6];
+        let mut ev = Evidence::empty(6);
+        let mut buf = EvalBuffer::new();
         let mut total_err = 0.0f64;
         let trials = 60;
         for _ in 0..trials {
@@ -232,8 +276,8 @@ mod tests {
                     _ => Some(false),
                 };
             }
-            total_err +=
-                (net.predict(&evidence) - exact_conditional(&circuit, &w, &evidence)).abs();
+            let exact = exact_conditional(&circuit, &w, &evidence, &mut ev, &mut buf);
+            total_err += (net.predict(&evidence) - exact).abs();
         }
         let mae = total_err / trials as f64;
         assert!(mae < 0.1, "held-out MAE too high: {mae}");
@@ -265,6 +309,21 @@ mod tests {
         let evidence = vec![Some(true), None, None, Some(false), None, None];
         let x = Matrix::from_vec(1, 12, encode(&evidence));
         assert!((f64::from(mlp.forward(&x).at(0, 0)) - net.predict(&evidence)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn train_from_cnf_matches_circuit_training() {
+        let (cnf, w) = tractable_instance();
+        let cfg = PredictConfig { queries: 64, epochs: 50, ..PredictConfig::default() };
+        let (via_cnf, loss_cnf) = PredictionNet::train_from_cnf(&cnf, &w, &cfg).unwrap();
+        let circuit = compile_cnf(&cnf, &w).unwrap();
+        let (via_circuit, loss_circuit) = PredictionNet::train_from_circuit(&circuit, &w, &cfg);
+        assert_eq!(loss_cnf, loss_circuit);
+        let e = vec![Some(true), None, None, None, Some(false), None];
+        assert_eq!(via_cnf.predict(&e), via_circuit.predict(&e));
+        // An unsatisfiable formula has no conditional distribution to learn.
+        let unsat = Cnf::from_clauses(2, vec![vec![1], vec![-1]]);
+        assert!(PredictionNet::train_from_cnf(&unsat, &WmcWeights::uniform(2), &cfg).is_none());
     }
 
     #[test]

@@ -1,0 +1,100 @@
+//! Knowledge-compilation benchmarks: the top-down component-caching
+//! compiler against the legacy Shannon baseline, plus the
+//! compiled-reuse and buffered-evaluation fast paths.
+//!
+//! `cargo bench --bench bench_compile` (shimmed timing; raise
+//! `CRITERION_SHIM_ITERS` for real measurements).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use reason_pc::{
+    compile_cnf, compile_cnf_shannon, weighted_model_count, CompiledWmc, EvalBuffer, Evidence,
+    WmcWeights,
+};
+use reason_sat::gen::random_ksat;
+
+fn bench_compilers(c: &mut Criterion) {
+    // Head-to-head on the sweep's cheap rungs, where the Shannon
+    // baseline is still affordable inside a bench loop.
+    let mut group = c.benchmark_group("cnf_to_circuit");
+    for (n, m) in [(12usize, 36usize), (16, 40)] {
+        let cnf = random_ksat(n, m, 3, 21);
+        let weights = WmcWeights::uniform(n);
+        group.bench_with_input(BenchmarkId::new("topdown", n), &cnf, |b, cnf| {
+            b.iter(|| black_box(compile_cnf(cnf, &weights)))
+        });
+        group.bench_with_input(BenchmarkId::new("shannon", n), &cnf, |b, cnf| {
+            b.iter(|| black_box(compile_cnf_shannon(cnf, &weights)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_topdown_scaling(c: &mut Criterion) {
+    // The rungs past the baseline's wall: top-down compiler only.
+    let mut group = c.benchmark_group("topdown_scaling");
+    for (n, m) in [(24usize, 48usize), (28, 52), (40, 64)] {
+        let cnf = random_ksat(n, m, 3, 21);
+        let weights = WmcWeights::uniform(n);
+        group.bench_with_input(BenchmarkId::new("compile", n), &cnf, |b, cnf| {
+            b.iter(|| black_box(compile_cnf(cnf, &weights)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_wmc_reuse(c: &mut Criterion) {
+    // The compiled-reuse API vs recompiling per query: 8 conditional
+    // mass queries against one formula.
+    let mut group = c.benchmark_group("wmc_queries");
+    let n = 14;
+    let cnf = random_ksat(n, 36, 3, 11);
+    let weights = WmcWeights::uniform(n);
+    group.bench_function("recompile_per_query", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for _ in 0..8 {
+                total += weighted_model_count(&cnf, &weights);
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("compiled_reuse", |b| {
+        b.iter(|| {
+            let mut oracle = CompiledWmc::new(&cnf, &weights);
+            let mut total = 0.0;
+            let mut ev = Evidence::empty(n);
+            for v in 0..8usize {
+                ev.clear(v.saturating_sub(1));
+                ev.set(v, 1);
+                total += oracle.probability(&ev);
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+fn bench_eval_buffer(c: &mut Criterion) {
+    // Allocating vs buffer-reusing evaluation on one compiled circuit.
+    let mut group = c.benchmark_group("circuit_eval");
+    let n = 20;
+    let cnf = random_ksat(n, 44, 3, 21);
+    let weights = WmcWeights::uniform(n);
+    let circuit = compile_cnf(&cnf, &weights).expect("benchmark instance is satisfiable");
+    let empty = Evidence::empty(n);
+    group.bench_function("log_values_alloc", |b| b.iter(|| black_box(circuit.log_values(&empty))));
+    group.bench_function("log_values_into_buffered", |b| {
+        let mut buf = EvalBuffer::new();
+        b.iter(|| black_box(circuit.log_values_into(&empty, &mut buf)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compilers,
+    bench_topdown_scaling,
+    bench_wmc_reuse,
+    bench_eval_buffer
+);
+criterion_main!(benches);

@@ -5,14 +5,19 @@
 //! reason-eval <experiment> [tasks] [workers] [--json] [--seed N]
 //!   experiments: fig2 fig3a fig3b fig3c fig3d table2 table3 table4
 //!                fig8 fig9 fig11 fig12 fig13 table5 ablation dse
-//!                pipeline approx all
+//!                pipeline approx compile all
 //!   pipeline: runs [tasks] mixed SAT/PC/approx tasks on the threaded
 //!             BatchExecutor with [workers] symbolic workers
 //!   approx:   exact-vs-approximate WMC sweep (reason-approx)
-//!   --seed N: seeds the seedable experiments (approx, pipeline)
-//!   --json:   machine-readable output — native rows for approx, a
-//!             {"experiment", "text"} wrapper for the table/figure
-//!             experiments — so sweeps are scriptable
+//!   compile:  knowledge-compilation scaling sweep — top-down
+//!             component-caching compiler vs the legacy Shannon
+//!             baseline; [tasks] caps the baseline's variable count
+//!             (default 28)
+//!   --seed N: seeds the seedable experiments (approx, pipeline,
+//!             compile)
+//!   --json:   machine-readable output — native rows for approx and
+//!             compile, a {"experiment", "text"} wrapper for the
+//!             table/figure experiments — so sweeps are scriptable
 //! ```
 
 use reason_bench::experiments;
@@ -24,13 +29,17 @@ struct EvalOpts {
     workers: usize,
     seed: u64,
     json: bool,
+    /// Baseline-compiler variable cap for the `compile` sweep: the
+    /// first positional argument when given, else 28 (the top of the
+    /// comparison ladder; the Shannon baseline takes seconds there).
+    baseline_cap: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: reason-eval <experiment> [tasks] [workers] [--json] [--seed N]\n\
          experiments: fig2 fig3a fig3b fig3c fig3d table2 table3 table4 fig8 fig9 \
-         fig11 fig12 fig13 table5 ablation dse pipeline approx all"
+         fig11 fig12 fig13 table5 ablation dse pipeline approx compile all"
     );
     std::process::exit(2);
 }
@@ -38,7 +47,7 @@ fn usage() -> ! {
 fn main() {
     let mut which: Option<String> = None;
     let mut positional: Vec<usize> = Vec::new();
-    let mut opts = EvalOpts { tasks: 4, workers: 4, seed: 42, json: false };
+    let mut opts = EvalOpts { tasks: 4, workers: 4, seed: 42, json: false, baseline_cap: 28 };
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -68,6 +77,7 @@ fn main() {
     let which = which.unwrap_or_else(|| "all".to_string());
     if let Some(&t) = positional.first() {
         opts.tasks = t;
+        opts.baseline_cap = t;
     }
     if let Some(&w) = positional.get(1) {
         opts.workers = w;
@@ -93,6 +103,7 @@ fn main() {
             "dse" => Some(experiments::dse()),
             "pipeline" => Some(experiments::pipeline(opts.tasks, opts.workers, opts.seed)),
             "approx" => Some(experiments::approx(opts.seed)),
+            "compile" => Some(experiments::compile_report(opts.seed, opts.baseline_cap)),
             _ => None,
         }
     };
@@ -102,6 +113,7 @@ fn main() {
     let run_json = |name: &str| -> Option<Json> {
         match name {
             "approx" => Some(experiments::approx_json(opts.seed)),
+            "compile" => Some(experiments::compile_json(opts.seed, opts.baseline_cap)),
             _ => run(name).map(|text| {
                 Json::Obj(vec![
                     ("experiment".into(), Json::Str(name.into())),
@@ -113,7 +125,7 @@ fn main() {
 
     let all = [
         "fig2", "fig3a", "fig3b", "fig3c", "fig3d", "table2", "table3", "table4", "fig8", "fig9",
-        "fig11", "fig12", "fig13", "table5", "ablation", "dse", "pipeline", "approx",
+        "fig11", "fig12", "fig13", "table5", "ablation", "dse", "pipeline", "approx", "compile",
     ];
     if which == "all" {
         if opts.json {

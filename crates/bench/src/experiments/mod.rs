@@ -4,8 +4,12 @@
 //! values, so printed-vs-paper comparison needs no external record.
 
 pub mod approx;
+pub mod compile;
 
 pub use approx::{approx, approx_json, approx_rows, approx_rows_for, ApproxRow, SWEEP_SIZES};
+pub use compile::{
+    compile_json, compile_report, compile_rows, CompileRow, COMPARE_SIZES, EXTENDED_SIZES,
+};
 
 use std::fmt::Write as _;
 
@@ -585,7 +589,8 @@ pub fn pipeline(tasks: usize, workers: usize, seed: u64) -> String {
     let batch = reason_system::demo_batch(tasks, seed);
     let _ = writeln!(
         out,
-        "-- determinism: {} real tasks (rotating cube-and-conquer SAT / PC marginal / approx WMC) --",
+        "-- determinism: {} real tasks (rotating cube-and-conquer SAT / PC marginal / approx WMC \
+         / exact WMC) --",
         tasks
     );
     let wide_workers = workers.max(1);
@@ -612,7 +617,8 @@ pub fn pipeline(tasks: usize, workers: usize, seed: u64) -> String {
     let swept: Vec<String> = sweep.iter().map(|w| format!("{w}-worker")).collect();
     let _ = writeln!(
         out,
-        "verdicts identical across serial / {} runs: {} SAT, {} PC marginals, {} approx WMC",
+        "verdicts identical across serial / {} runs: {} SAT, {} PC marginals, {} WMC \
+         (approx + exact)",
         swept.join(" / "),
         sat,
         marginals,

@@ -218,6 +218,15 @@ impl CircuitBuilder {
         circuit.validate()?;
         Ok(circuit)
     }
+
+    /// Consumes the builder, returning `(arities, nodes)` without
+    /// validation — for in-crate compilers whose construction
+    /// discipline guarantees the invariants (they still
+    /// `debug_assert!` a full [`Circuit::validate`] in debug builds,
+    /// where the O(nodes · vars) scope computation is affordable).
+    pub(crate) fn into_parts(self) -> (Vec<usize>, Vec<PcNode>) {
+        (self.arities, self.nodes)
+    }
 }
 
 /// A validated probabilistic circuit.

@@ -2,19 +2,40 @@
 //!
 //! This is how R²-Guard-style systems (paper Table I) turn logical safety
 //! rules into probabilistic circuits: a propositional formula over binary
-//! variables is compiled by Shannon expansion into a smooth, decomposable,
-//! *deterministic* circuit whose weighted model count equals the
-//! probability that the formula holds under independent variable marginals.
+//! variables is compiled into a smooth, decomposable, *deterministic*
+//! circuit whose weighted model count equals the probability that the
+//! formula holds under independent variable marginals.
 //!
-//! The compiler caches cofactors of the clause set, producing a
-//! decision-DNNF-shaped circuit; sub-formula sharing keeps compiled sizes
-//! far below the full 2^n expansion for structured rule sets.
+//! [`compile_cnf`] is a sharpSAT/c2d-style **top-down component-caching
+//! compiler** built on `reason_sat`'s shared clause pool
+//! ([`reason_sat::ClausePool`]) and trail propagator
+//! ([`reason_sat::Propagator`]). Each search node runs four steps:
+//!
+//! 1. **propagate** — unit propagation fixes every implied literal, so
+//!    implications become cheap weighted factors instead of trivial
+//!    decision sums;
+//! 2. **decompose** — the residual clause set splits into connected
+//!    components (clauses sharing no variable), compiled independently
+//!    and joined by a decomposable product;
+//! 3. **decide** — a branching variable is chosen *dynamically* per
+//!    component (most residual occurrences by default; see [`VarOrder`]
+//!    for the external-score hook used by learned proxies);
+//! 4. **cache** — components are memoized under hashed fingerprints of
+//!    `(clause id, surviving-literal mask)` pairs over the shared pool,
+//!    so a cache probe is linear in the component and never sorts or
+//!    clones the residual clauses.
+//!
+//! The PR-3-era static-order Shannon expansion survives as
+//! [`compile_cnf_shannon`]: it is the baseline the `reason-eval compile`
+//! sweep measures speedups against, and the regression guard that pins
+//! the new compiler's circuit sizes from above.
 
 use std::collections::HashMap;
 
-use reason_sat::{Clause, Cnf, Lit, Var};
+use reason_sat::{Clause, ClausePool, Cnf, Lit, Propagator, Var};
 
 use crate::circuit::{Circuit, CircuitBuilder, NodeId};
+use crate::infer::{EvalBuffer, Evidence};
 
 /// Per-variable Bernoulli marginals used as weights for weighted model
 /// counting.
@@ -45,6 +66,16 @@ impl WmcWeights {
         self.probs[var]
     }
 
+    /// The probability that `lit` is true.
+    pub fn lit_prob(&self, lit: Lit) -> f64 {
+        let p = self.probs[lit.var().index()];
+        if lit.is_neg() {
+            1.0 - p
+        } else {
+            p
+        }
+    }
+
     /// Number of variables covered.
     pub fn len(&self) -> usize {
         self.probs.len()
@@ -56,8 +87,80 @@ impl WmcWeights {
     }
 }
 
+/// How the top-down compiler picks the branching variable inside a
+/// component.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VarOrder {
+    /// Branch on the variable with the most occurrences in the
+    /// component's residual clauses (ties broken by lowest index) —
+    /// the default dynamic order, which maximizes how much each
+    /// decision satisfies/shrinks.
+    MostOccurrences,
+    /// Branch on the lowest-indexed variable of the component — the
+    /// legacy static order, useful for apples-to-apples comparisons
+    /// against [`compile_cnf_shannon`].
+    Static,
+    /// Branch on the component variable with the highest external
+    /// score (ties broken by lowest index). This is the hook for
+    /// learned branching proxies: any per-variable score vector works —
+    /// e.g. the polarization scores a `reason-approx` proposal or
+    /// prediction network exposes for guided CDCL branching.
+    ///
+    /// # Panics
+    ///
+    /// Compilation panics if the score vector's length differs from
+    /// the formula's variable count.
+    Scored(Vec<f64>),
+}
+
+/// Configuration of the top-down compiler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileConfig {
+    /// Branching-variable order (see [`VarOrder`]).
+    pub order: VarOrder,
+}
+
+impl Default for CompileConfig {
+    fn default() -> Self {
+        CompileConfig { order: VarOrder::MostOccurrences }
+    }
+}
+
+/// Counters reported by [`compile_cnf_with_stats`]: what the
+/// propagate → decompose → decide → cache pipeline actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Decision (branching) nodes explored.
+    pub decisions: u64,
+    /// Literals fixed by unit propagation (never became decisions).
+    pub propagations: u64,
+    /// Connected components created by decomposition.
+    pub components: u64,
+    /// Component-cache hits.
+    pub cache_hits: u64,
+    /// Component-cache misses (compiled components).
+    pub cache_misses: u64,
+    /// Nodes in the final (compacted) circuit; 0 for UNSAT inputs.
+    pub nodes: usize,
+    /// Edges in the final (compacted) circuit; 0 for UNSAT inputs.
+    pub edges: usize,
+}
+
+impl CompileStats {
+    /// Cache hits as a fraction of all component probes.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
 /// Compiles `cnf` into a deterministic circuit over all `cnf.num_vars()`
-/// binary variables, weighted by `weights`.
+/// binary variables, weighted by `weights`, using the top-down
+/// component-caching compiler (see the [module docs](self)).
 ///
 /// The root's fully-marginalized probability equals the weighted model
 /// count `Pr[φ]`; conditioning works as in any PC. The circuit is smooth,
@@ -81,8 +184,512 @@ impl WmcWeights {
 /// assert!((pr - 0.75).abs() < 1e-12);
 /// ```
 pub fn compile_cnf(cnf: &Cnf, weights: &WmcWeights) -> Option<Circuit> {
+    compile_cnf_with(cnf, weights, &CompileConfig::default())
+}
+
+/// [`compile_cnf`] with an explicit [`CompileConfig`].
+pub fn compile_cnf_with(
+    cnf: &Cnf,
+    weights: &WmcWeights,
+    config: &CompileConfig,
+) -> Option<Circuit> {
+    compile_cnf_with_stats(cnf, weights, config).0
+}
+
+/// [`compile_cnf_with`], also reporting [`CompileStats`].
+pub fn compile_cnf_with_stats(
+    cnf: &Cnf,
+    weights: &WmcWeights,
+    config: &CompileConfig,
+) -> (Option<Circuit>, CompileStats) {
     assert_eq!(weights.len(), cnf.num_vars(), "weights arity mismatch");
-    let mut compiler = Compiler {
+    if let VarOrder::Scored(scores) = &config.order {
+        assert_eq!(scores.len(), cnf.num_vars(), "score vector arity mismatch");
+    }
+    let num_vars = cnf.num_vars();
+    let pool = ClausePool::new(cnf);
+    let num_clauses = pool.num_clauses();
+    let mut compiler = TopDown {
+        pool,
+        prop: Propagator::new(num_vars),
+        builder: CircuitBuilder::new(vec![2; num_vars]),
+        weights,
+        order: &config.order,
+        cache: HashMap::new(),
+        indicator_memo: vec![[None; 2]; num_vars],
+        free_memo: vec![None; num_vars],
+        implied_memo: vec![[None; 2]; num_vars],
+        clause_active: vec![0; num_clauses],
+        clause_taken: vec![0; num_clauses],
+        var_stamp: vec![0; num_vars],
+        occ_scratch: vec![0; num_vars],
+        stamp: 0,
+        stats: CompileStats::default(),
+    };
+    let root = compiler.compile_top();
+    let mut stats = compiler.stats;
+    match root {
+        None => (None, stats),
+        Some(root) => {
+            let (arities, nodes) = compiler.builder.into_parts();
+            // Branches killed by a sibling conflict leave unreachable
+            // nodes behind; compact to the live circuit.
+            let (circuit, _dropped) = Circuit::from_parts(arities, nodes, root).compact();
+            debug_assert!(circuit.validate().is_ok(), "compiler emits valid circuits");
+            stats.nodes = circuit.num_nodes();
+            stats.edges = circuit.num_edges();
+            (Some(circuit), stats)
+        }
+    }
+}
+
+/// A satisfiable connected component: `clauses` are pool ids of
+/// currently-unsatisfied clauses, `vars` exactly the unassigned
+/// variables they mention (both sorted). The compiled node's scope is
+/// exactly `vars`.
+struct Component {
+    clauses: Vec<u32>,
+    vars: Vec<Var>,
+}
+
+/// Marker bit distinguishing wide-clause fingerprint entries from the
+/// packed `(clause id << 32) | literal mask` form.
+const WIDE_ENTRY: u64 = 1 << 63;
+
+struct TopDown<'a> {
+    pool: ClausePool,
+    prop: Propagator,
+    builder: CircuitBuilder,
+    weights: &'a WmcWeights,
+    order: &'a VarOrder,
+    /// Component cache: fingerprint of the residual clause set → the
+    /// compiled node (`None` caches UNSAT components too).
+    cache: HashMap<Vec<u64>, Option<NodeId>>,
+    /// Hash-consed leaves: indicator `[x_v = b]`, free Bernoulli leaf,
+    /// and the weighted implied-literal factor `w · [x_v = b]`.
+    indicator_memo: Vec<[Option<NodeId>; 2]>,
+    free_memo: Vec<Option<NodeId>>,
+    implied_memo: Vec<[Option<NodeId>; 2]>,
+    /// Stamped scratch marks for component decomposition (no clearing
+    /// between calls; a fresh stamp invalidates old marks).
+    clause_active: Vec<u64>,
+    clause_taken: Vec<u64>,
+    var_stamp: Vec<u64>,
+    occ_scratch: Vec<u32>,
+    stamp: u64,
+    stats: CompileStats,
+}
+
+impl TopDown<'_> {
+    /// Top-level: propagate the full formula, then compile the residual
+    /// as free leaves + independent components. Returns the root node,
+    /// or `None` when the formula is unsatisfiable.
+    fn compile_top(&mut self) -> Option<NodeId> {
+        let all_clauses: Vec<u32> = (0..self.pool.num_clauses() as u32).collect();
+        let all_vars: Vec<Var> = (0..self.pool.num_vars()).map(Var::new).collect();
+        if !self.prop.propagate(&self.pool, &all_clauses) {
+            return None;
+        }
+        self.stats.propagations += self.prop.trail().len() as u64;
+        let implied: Vec<Lit> = self.prop.trail().to_vec();
+        if implied.iter().any(|&l| self.weights.lit_prob(l) <= 0.0) {
+            return None; // an implied literal with zero mass: Pr[φ] = 0
+        }
+        let mut parts: Vec<NodeId> = Vec::new();
+        for &l in &implied {
+            let factor = self.implied_factor(l);
+            parts.push(factor);
+        }
+        let rest = self.compile_residual(&all_clauses, &all_vars)?;
+        parts.extend(rest);
+        Some(match parts.len() {
+            1 => parts[0],
+            _ => self.builder.product(parts),
+        })
+    }
+
+    /// Compiles the unsatisfied part of `clause_ids` over the
+    /// still-unassigned subset of `vars`: one free Bernoulli leaf per
+    /// unconstrained variable plus one cached node per connected
+    /// component. The returned factors have pairwise-disjoint scopes
+    /// whose union is exactly the unassigned subset of `vars`; `None`
+    /// means some component is unsatisfiable.
+    fn compile_residual(&mut self, clause_ids: &[u32], vars: &[Var]) -> Option<Vec<NodeId>> {
+        let (free, comps) = self.split_components(clause_ids, vars);
+        let mut parts: Vec<NodeId> = Vec::with_capacity(free.len() + comps.len());
+        for v in free {
+            let leaf = self.free_leaf(v);
+            parts.push(leaf);
+        }
+        for comp in &comps {
+            parts.push(self.compile_component(comp)?);
+        }
+        Some(parts)
+    }
+
+    /// Decomposition step: partitions the unsatisfied clauses of
+    /// `clause_ids` into variable-connected components, and the
+    /// unassigned `vars` into component members vs. free variables.
+    fn split_components(&mut self, clause_ids: &[u32], vars: &[Var]) -> (Vec<Var>, Vec<Component>) {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        for &c in clause_ids {
+            if !self.prop.clause_satisfied(&self.pool, c) {
+                self.clause_active[c as usize] = stamp;
+            }
+        }
+        let mut free: Vec<Var> = Vec::new();
+        let mut comps: Vec<Component> = Vec::new();
+        let mut queue: Vec<Var> = Vec::new();
+        for &v in vars {
+            if self.prop.is_assigned(v) || self.var_stamp[v.index()] == stamp {
+                continue;
+            }
+            let touches =
+                self.pool.occurrences(v).iter().any(|&c| self.clause_active[c as usize] == stamp);
+            self.var_stamp[v.index()] = stamp;
+            if !touches {
+                free.push(v);
+                continue;
+            }
+            // Flood-fill the component containing `v`.
+            let mut comp = Component { clauses: Vec::new(), vars: vec![v] };
+            queue.clear();
+            queue.push(v);
+            while let Some(u) = queue.pop() {
+                for &c in self.pool.occurrences(u) {
+                    if self.clause_active[c as usize] != stamp
+                        || self.clause_taken[c as usize] == stamp
+                    {
+                        continue;
+                    }
+                    self.clause_taken[c as usize] = stamp;
+                    comp.clauses.push(c);
+                    for &l in self.pool.clause(c) {
+                        let w = l.var();
+                        if !self.prop.is_assigned(w) && self.var_stamp[w.index()] != stamp {
+                            self.var_stamp[w.index()] = stamp;
+                            comp.vars.push(w);
+                            queue.push(w);
+                        }
+                    }
+                }
+            }
+            comp.clauses.sort_unstable();
+            comp.vars.sort_unstable();
+            self.stats.components += 1;
+            comps.push(comp);
+        }
+        (free, comps)
+    }
+
+    /// Decide + cache: compiles one component through its branching
+    /// variable, memoized by residual-clause fingerprint.
+    fn compile_component(&mut self, comp: &Component) -> Option<NodeId> {
+        let key = self.component_key(comp);
+        if let Some(&hit) = self.cache.get(&key) {
+            self.stats.cache_hits += 1;
+            return hit;
+        }
+        self.stats.cache_misses += 1;
+        self.stats.decisions += 1;
+        let v = self.pick_var(comp);
+        let p = self.weights.prob(v.index());
+        let mut children: Vec<NodeId> = Vec::with_capacity(2);
+        let mut ws: Vec<f64> = Vec::with_capacity(2);
+        for (value, w) in [(true, p), (false, 1.0 - p)] {
+            if w <= 0.0 {
+                continue; // zero-mass polarity: mirror of an UNSAT branch
+            }
+            if let Some(node) = self.compile_branch(comp, v, value) {
+                children.push(node);
+                ws.push(w);
+            }
+        }
+        let result = if children.is_empty() {
+            None
+        } else {
+            // WMC semantics keeps the *sub*-normalized weights: mass of
+            // an unsatisfiable branch is simply lost, so the root value
+            // is exactly Pr[φ]. `Circuit::validate` admits sums whose
+            // weights total at most 1.
+            Some(self.builder.sum(children, ws))
+        };
+        self.cache.insert(key, result);
+        result
+    }
+
+    /// One decision branch: assume `v = value`, propagate within the
+    /// component, and join the decision indicator, the implied-literal
+    /// factors, and the recursively-compiled residual into a product
+    /// with scope exactly `comp.vars`.
+    fn compile_branch(&mut self, comp: &Component, v: Var, value: bool) -> Option<NodeId> {
+        let mark = self.prop.mark();
+        self.prop.assume(if value { v.pos() } else { v.neg() });
+        let result = 'branch: {
+            if !self.prop.propagate(&self.pool, &comp.clauses) {
+                break 'branch None;
+            }
+            let implied: Vec<Lit> = self.prop.trail()[mark + 1..].to_vec();
+            self.stats.propagations += implied.len() as u64;
+            if implied.iter().any(|&l| self.weights.lit_prob(l) <= 0.0) {
+                break 'branch None; // implied literal with zero mass
+            }
+            let mut parts: Vec<NodeId> = Vec::with_capacity(2 + implied.len());
+            let decision = self.indicator_leaf(v, value);
+            parts.push(decision);
+            for &l in &implied {
+                let factor = self.implied_factor(l);
+                parts.push(factor);
+            }
+            let Some(rest) = self.compile_residual(&comp.clauses, &comp.vars) else {
+                break 'branch None;
+            };
+            parts.extend(rest);
+            Some(if parts.len() == 1 { parts[0] } else { self.builder.product(parts) })
+        };
+        self.prop.undo_to(mark);
+        result
+    }
+
+    /// Fingerprint of a component's residual clause set over the shared
+    /// pool: per clause, the pool id packed with the bitmask of its
+    /// surviving (unassigned) literal positions — O(component) to
+    /// build, no sorting, no cloning of literal vectors. Clauses wider
+    /// than 32 literals fall back to explicit tagged literal codes.
+    fn component_key(&self, comp: &Component) -> Vec<u64> {
+        let mut key: Vec<u64> = Vec::with_capacity(comp.clauses.len());
+        for &c in &comp.clauses {
+            let lits = self.pool.clause(c);
+            if lits.len() <= 32 {
+                let mut mask = 0u64;
+                for (i, &l) in lits.iter().enumerate() {
+                    if !self.prop.is_assigned(l.var()) {
+                        mask |= 1 << i;
+                    }
+                }
+                key.push((u64::from(c) << 32) | mask);
+            } else {
+                key.push(WIDE_ENTRY | u64::from(c));
+                for &l in lits {
+                    if !self.prop.is_assigned(l.var()) {
+                        key.push(WIDE_ENTRY | (1 << 62) | l.code() as u64);
+                    }
+                }
+            }
+        }
+        key
+    }
+
+    /// The decide step's variable choice (see [`VarOrder`]).
+    fn pick_var(&mut self, comp: &Component) -> Var {
+        match self.order {
+            VarOrder::Static => comp.vars[0],
+            VarOrder::MostOccurrences => {
+                for &c in &comp.clauses {
+                    for &l in self.pool.clause(c) {
+                        if !self.prop.is_assigned(l.var()) {
+                            self.occ_scratch[l.var().index()] += 1;
+                        }
+                    }
+                }
+                let mut best = comp.vars[0];
+                let mut best_count = 0u32;
+                for &v in &comp.vars {
+                    let count = self.occ_scratch[v.index()];
+                    if count > best_count {
+                        best = v;
+                        best_count = count;
+                    }
+                }
+                for &v in &comp.vars {
+                    self.occ_scratch[v.index()] = 0;
+                }
+                best
+            }
+            VarOrder::Scored(scores) => {
+                let mut best = comp.vars[0];
+                let mut best_score = f64::NEG_INFINITY;
+                for &v in &comp.vars {
+                    let s = scores[v.index()];
+                    if s > best_score {
+                        best = v;
+                        best_score = s;
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Hash-consed indicator leaf `[x_v = value]`.
+    fn indicator_leaf(&mut self, v: Var, value: bool) -> NodeId {
+        let slot = &mut self.indicator_memo[v.index()][usize::from(value)];
+        match *slot {
+            Some(id) => id,
+            None => {
+                let id = self.builder.indicator(v.index(), usize::from(value));
+                *slot = Some(id);
+                id
+            }
+        }
+    }
+
+    /// Hash-consed free Bernoulli leaf for an unconstrained variable.
+    fn free_leaf(&mut self, v: Var) -> NodeId {
+        match self.free_memo[v.index()] {
+            Some(id) => id,
+            None => {
+                let p = self.weights.prob(v.index());
+                let id = self.builder.categorical(v.index(), &[1.0 - p, p]);
+                self.free_memo[v.index()] = Some(id);
+                id
+            }
+        }
+    }
+
+    /// Hash-consed factor for a unit-implied literal: a single-child
+    /// sum carrying the literal's weight over its indicator, so the
+    /// implication contributes `w · [x_v = b]` without a decision node.
+    fn implied_factor(&mut self, lit: Lit) -> NodeId {
+        let (v, value) = (lit.var(), !lit.is_neg());
+        if let Some(id) = self.implied_memo[v.index()][usize::from(value)] {
+            return id;
+        }
+        let ind = self.indicator_leaf(v, value);
+        let id = self.builder.sum(vec![ind], vec![self.weights.lit_prob(lit)]);
+        self.implied_memo[v.index()][usize::from(value)] = Some(id);
+        id
+    }
+}
+
+/// Computes the weighted model count of `cnf` by compiling and evaluating.
+///
+/// Returns `0` for unsatisfiable formulas. One-shot convenience: a
+/// caller issuing *repeated* WMC/conditional queries against the same
+/// formula should hold a [`CompiledWmc`] instead of paying a fresh
+/// compilation per call.
+pub fn weighted_model_count(cnf: &Cnf, weights: &WmcWeights) -> f64 {
+    CompiledWmc::new(cnf, weights).wmc()
+}
+
+/// A compiled-once, query-many exact WMC oracle.
+///
+/// Compiles the formula a single time and answers every subsequent
+/// query from the cached circuit through a reused [`EvalBuffer`] — the
+/// executor's exact-WMC lane and the approximate engine's
+/// training-label generation both route through this instead of
+/// recompiling per query.
+///
+/// ```
+/// use reason_sat::Cnf;
+/// use reason_pc::{CompiledWmc, Evidence, WmcWeights};
+///
+/// let cnf = Cnf::from_clauses(2, vec![vec![1, 2]]);
+/// let mut oracle = CompiledWmc::new(&cnf, &WmcWeights::uniform(2));
+/// assert!((oracle.wmc() - 0.75).abs() < 1e-12);
+/// // Pr[φ ∧ x0=1] = 0.5 — answered from the cached circuit.
+/// let mut ev = Evidence::empty(2);
+/// ev.set(0, 1);
+/// assert!((oracle.probability(&ev) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledWmc {
+    circuit: Option<Circuit>,
+    num_vars: usize,
+    z: f64,
+    buf: EvalBuffer,
+}
+
+impl CompiledWmc {
+    /// Compiles `cnf` once (top-down compiler) and caches the weighted
+    /// model count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != cnf.num_vars()`.
+    pub fn new(cnf: &Cnf, weights: &WmcWeights) -> Self {
+        let circuit = compile_cnf(cnf, weights);
+        let mut buf = EvalBuffer::new();
+        let z = circuit
+            .as_ref()
+            .map_or(0.0, |c| c.probability_with(&Evidence::empty(cnf.num_vars()), &mut buf));
+        CompiledWmc { circuit, num_vars: cnf.num_vars(), z, buf }
+    }
+
+    /// The weighted model count `Pr[φ]` (0 for unsatisfiable formulas).
+    /// Cached — repeated calls are free.
+    pub fn wmc(&self) -> f64 {
+        self.z
+    }
+
+    /// `true` when the formula carries positive mass under the weights
+    /// (equivalently, a circuit was compiled). Note this is *weighted*
+    /// satisfiability: a satisfiable formula whose every model is
+    /// killed by a zero-probability weight reports `false`, matching
+    /// [`compile_cnf`]'s `None`.
+    pub fn has_mass(&self) -> bool {
+        self.circuit.is_some()
+    }
+
+    /// Number of variables in the formula's universe.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The compiled circuit, when the formula is satisfiable.
+    pub fn circuit(&self) -> Option<&Circuit> {
+        self.circuit.as_ref()
+    }
+
+    /// `Pr[φ ∧ e]`: the probability mass of models consistent with the
+    /// (partial) evidence. Evaluated on the cached circuit through the
+    /// reused buffer; 0 for unsatisfiable formulas.
+    pub fn probability(&mut self, evidence: &Evidence) -> f64 {
+        match &self.circuit {
+            Some(c) => c.probability_with(evidence, &mut self.buf),
+            None => 0.0,
+        }
+    }
+
+    /// `Pr[e | φ]`: the conditional probability of the evidence given
+    /// the formula. Returns `None` for unsatisfiable formulas.
+    pub fn posterior(&mut self, evidence: &Evidence) -> Option<f64> {
+        if self.z == 0.0 {
+            return None;
+        }
+        let joint = self.probability(evidence);
+        Some(joint / self.z)
+    }
+}
+
+/// Compiles a single clause (disjunction) to a circuit — convenience for
+/// rule-based workloads.
+pub fn compile_clause(clause: &Clause, num_vars: usize, weights: &WmcWeights) -> Option<Circuit> {
+    let mut cnf = Cnf::new(num_vars);
+    cnf.add_clause(clause.clone());
+    compile_cnf(&cnf, weights)
+}
+
+// ---------------------------------------------------------------------------
+// Legacy baseline: static-order Shannon expansion.
+// ---------------------------------------------------------------------------
+
+/// Compiles `cnf` with the legacy static-order Shannon-expansion
+/// compiler (the pre-component-caching implementation).
+///
+/// Kept as the measured baseline: `reason-eval compile` reports the
+/// top-down compiler's speedup against it, and the circuit-size
+/// regression tests assert the top-down compiler never emits more
+/// nodes. Its cache keys sort and clone the entire residual clause set
+/// at every node, which is exactly the cost the top-down compiler's
+/// pooled fingerprints remove — expect seconds instead of milliseconds
+/// above ~24 variables on random 3-SAT.
+///
+/// Semantics match [`compile_cnf`]: same WMC, same `None`-on-UNSAT.
+pub fn compile_cnf_shannon(cnf: &Cnf, weights: &WmcWeights) -> Option<Circuit> {
+    assert_eq!(weights.len(), cnf.num_vars(), "weights arity mismatch");
+    let mut compiler = Shannon {
         builder: CircuitBuilder::new(vec![2; cnf.num_vars()]),
         cache: HashMap::new(),
         weights,
@@ -93,17 +700,7 @@ pub fn compile_cnf(cnf: &Cnf, weights: &WmcWeights) -> Option<Circuit> {
     Some(compiler.builder.build(root).expect("compiler emits valid circuits"))
 }
 
-/// Computes the weighted model count of `cnf` by compiling and evaluating.
-///
-/// Returns `0` for unsatisfiable formulas.
-pub fn weighted_model_count(cnf: &Cnf, weights: &WmcWeights) -> f64 {
-    match compile_cnf(cnf, weights) {
-        Some(c) => c.probability(&crate::infer::Evidence::empty(cnf.num_vars())),
-        None => 0.0,
-    }
-}
-
-struct Compiler<'w> {
+struct Shannon<'w> {
     builder: CircuitBuilder,
     /// Cache keyed by (next variable, canonical clause set).
     cache: HashMap<(usize, Vec<Vec<i32>>), Option<NodeId>>,
@@ -111,7 +708,7 @@ struct Compiler<'w> {
     num_vars: usize,
 }
 
-impl Compiler<'_> {
+impl Shannon<'_> {
     /// Compiles the residual clause set starting at variable `var`,
     /// returning a node whose scope is exactly `var..num_vars`.
     fn compile(&mut self, clauses: Vec<Vec<Lit>>, var: usize) -> Option<NodeId> {
@@ -157,10 +754,8 @@ impl Compiler<'_> {
             if children.is_empty() {
                 None
             } else {
-                // WMC semantics keeps the *sub*-normalized weights: mass of
-                // an unsatisfiable branch is simply lost, so the root value
-                // is exactly Pr[φ]. `Circuit::validate` admits sums whose
-                // weights total at most 1.
+                // Sub-normalized like the top-down compiler: mass of an
+                // unsatisfiable branch is lost, root value is Pr[φ].
                 Some(self.builder.sum(children, ws))
             }
         };
@@ -186,7 +781,8 @@ impl Compiler<'_> {
     }
 }
 
-/// Canonical form of a clause set for caching.
+/// Canonical form of a clause set for caching (legacy compiler only —
+/// this sort-and-clone per node is what pooled fingerprints replace).
 fn canonical(clauses: &[Vec<Lit>]) -> Vec<Vec<i32>> {
     let mut out: Vec<Vec<i32>> = clauses
         .iter()
@@ -213,14 +809,6 @@ fn cofactor(clauses: &[Vec<Lit>], lit: Lit) -> Vec<Vec<Lit>> {
         out.push(reduced);
     }
     out
-}
-
-/// Compiles a single clause (disjunction) to a circuit — convenience for
-/// rule-based workloads.
-pub fn compile_clause(clause: &Clause, num_vars: usize, weights: &WmcWeights) -> Option<Circuit> {
-    let mut cnf = Cnf::new(num_vars);
-    cnf.add_clause(clause.clone());
-    compile_cnf(&cnf, weights)
 }
 
 #[cfg(test)]
@@ -274,6 +862,7 @@ mod tests {
     fn unsat_compiles_to_none() {
         let cnf = Cnf::from_clauses(2, vec![vec![1], vec![-1]]);
         assert!(compile_cnf(&cnf, &WmcWeights::uniform(2)).is_none());
+        assert!(compile_cnf_shannon(&cnf, &WmcWeights::uniform(2)).is_none());
         assert_eq!(weighted_model_count(&cnf, &WmcWeights::uniform(2)), 0.0);
     }
 
@@ -333,5 +922,172 @@ mod tests {
         let c = compile_cnf(&cnf, &WmcWeights::uniform(3)).unwrap();
         let p = c.probability(&Evidence::empty(3));
         assert!((p - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn topdown_and_shannon_agree_on_random_instances() {
+        for seed in 0..20 {
+            let cnf = random_ksat(9, 24, 3, 300 + seed);
+            let weights = WmcWeights::new((0..9).map(|v| 0.3 + 0.05 * v as f64).collect());
+            let new = compile_cnf(&cnf, &weights);
+            let old = compile_cnf_shannon(&cnf, &weights);
+            match (new, old) {
+                (Some(n), Some(o)) => {
+                    let zn = n.probability(&Evidence::empty(9));
+                    let zo = o.probability(&Evidence::empty(9));
+                    assert!((zn - zo).abs() < 1e-9, "seed {seed}: {zn} vs {zo}");
+                    n.validate().unwrap();
+                    assert!(n.is_syntactically_deterministic());
+                }
+                (None, None) => {}
+                (n, o) => {
+                    panic!("seed {seed}: SAT disagreement (topdown {n:?} vs shannon {o:?})")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn topdown_is_never_larger_than_shannon_on_fixed_instances() {
+        let fixed: Vec<Cnf> = vec![
+            Cnf::from_clauses(12, (1..12).map(|i| vec![-i, i + 1]).collect()),
+            Cnf::from_clauses(6, vec![vec![1, 2], vec![-2, 3], vec![-1, 4, 5], vec![3, -5, 6]]),
+            random_ksat(10, 26, 3, 5),
+            random_ksat(12, 30, 3, 8),
+        ];
+        for (i, cnf) in fixed.iter().enumerate() {
+            let w = WmcWeights::uniform(cnf.num_vars());
+            let new = compile_cnf(cnf, &w).unwrap();
+            let old = compile_cnf_shannon(cnf, &w).unwrap();
+            assert!(
+                new.num_nodes() <= old.num_nodes(),
+                "instance {i}: topdown {} nodes vs shannon {}",
+                new.num_nodes(),
+                old.num_nodes()
+            );
+        }
+    }
+
+    #[test]
+    fn unit_clauses_become_propagations_not_decisions() {
+        // x0 & (!x0 | x1) & (x2 | x3): the first two clauses are fully
+        // implied, only the third needs one decision.
+        let cnf = Cnf::from_clauses(4, vec![vec![1], vec![-1, 2], vec![3, 4]]);
+        let (c, stats) =
+            compile_cnf_with_stats(&cnf, &WmcWeights::uniform(4), &CompileConfig::default());
+        let c = c.unwrap();
+        // x0 and x1 are implied at the top level; deciding x2 = false
+        // unit-implies x3 inside the branch.
+        assert_eq!(stats.propagations, 3);
+        assert_eq!(stats.decisions, 1, "only the (x2 | x3) component branches");
+        let z = c.probability(&Evidence::empty(4));
+        assert!((z - brute_wmc(&cnf, &WmcWeights::uniform(4))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_clauses_decompose_into_components() {
+        // Three variable-disjoint clauses: component decomposition must
+        // compile them independently (3 components, ≤ 1 decision each).
+        let cnf = Cnf::from_clauses(6, vec![vec![1, 2], vec![3, 4], vec![5, 6]]);
+        let (c, stats) =
+            compile_cnf_with_stats(&cnf, &WmcWeights::uniform(6), &CompileConfig::default());
+        assert!(stats.components >= 3, "expected ≥ 3 components, got {}", stats.components);
+        let z = c.unwrap().probability(&Evidence::empty(6));
+        assert!((z - 0.75f64.powi(3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn component_cache_is_probed_and_hit() {
+        // Identical disjoint sub-formulas share structure via the pool
+        // fingerprints only when the clause ids coincide — but repeated
+        // sub-problems inside one component's search do hit.
+        let cnf = random_ksat(12, 36, 3, 2);
+        let (_, stats) =
+            compile_cnf_with_stats(&cnf, &WmcWeights::uniform(12), &CompileConfig::default());
+        assert!(stats.cache_misses > 0);
+        assert!(stats.hit_rate() >= 0.0);
+    }
+
+    #[test]
+    fn every_var_order_agrees_with_brute_force() {
+        let cnf = random_ksat(8, 20, 3, 77);
+        let weights = WmcWeights::new((0..8).map(|v| 0.35 + 0.04 * v as f64).collect());
+        let expect = brute_wmc(&cnf, &weights);
+        let scored = VarOrder::Scored((0..8).map(|v| ((v * 7) % 5) as f64).collect());
+        for order in [VarOrder::MostOccurrences, VarOrder::Static, scored] {
+            let config = CompileConfig { order };
+            let c = compile_cnf_with(&cnf, &weights, &config);
+            let z = c.map_or(0.0, |c| c.probability(&Evidence::empty(8)));
+            assert!((z - expect).abs() < 1e-9, "{config:?}: {z} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn compilation_is_deterministic_across_runs() {
+        let cnf = random_ksat(11, 30, 3, 13);
+        let w = WmcWeights::uniform(11);
+        let a = compile_cnf(&cnf, &w);
+        let b = compile_cnf(&cnf, &w);
+        assert_eq!(a, b, "same input must compile to the identical circuit");
+    }
+
+    #[test]
+    fn compiled_wmc_reuses_one_compilation() {
+        let cnf = Cnf::from_clauses(3, vec![vec![1, 2], vec![-2, 3]]);
+        let w = WmcWeights::new(vec![0.4, 0.6, 0.5]);
+        let mut oracle = CompiledWmc::new(&cnf, &w);
+        assert!(oracle.has_mass());
+        assert_eq!(oracle.num_vars(), 3);
+        let expect = brute_wmc(&cnf, &w);
+        assert!((oracle.wmc() - expect).abs() < 1e-12);
+        // Conditional mass queries answer from the cached circuit.
+        let mut ev = Evidence::empty(3);
+        ev.set(1, 1);
+        let mut with_x1 = cnf.clone();
+        with_x1.add_dimacs_clause(&[2]);
+        assert!((oracle.probability(&ev) - brute_wmc(&with_x1, &w)).abs() < 1e-12);
+        let post = oracle.posterior(&ev).unwrap();
+        assert!((post - brute_wmc(&with_x1, &w) / expect).abs() < 1e-12);
+        // And the same agreement as weighted_model_count.
+        assert_eq!(oracle.wmc(), weighted_model_count(&cnf, &w));
+    }
+
+    #[test]
+    fn compiled_wmc_on_unsat_is_zero() {
+        let cnf = Cnf::from_clauses(2, vec![vec![1], vec![-1]]);
+        let mut oracle = CompiledWmc::new(&cnf, &WmcWeights::uniform(2));
+        assert!(!oracle.has_mass());
+        assert_eq!(oracle.wmc(), 0.0);
+        assert_eq!(oracle.probability(&Evidence::empty(2)), 0.0);
+        assert_eq!(oracle.posterior(&Evidence::empty(2)), None);
+        assert!(oracle.circuit().is_none());
+    }
+
+    #[test]
+    fn extreme_weights_prune_zero_mass_branches() {
+        // p(x0) = 1 forces the x0-false branch away entirely.
+        let cnf = Cnf::from_clauses(2, vec![vec![1, 2]]);
+        let w = WmcWeights::new(vec![1.0, 0.25]);
+        let c = compile_cnf(&cnf, &w).unwrap();
+        let z = c.probability(&Evidence::empty(2));
+        assert!((z - 1.0).abs() < 1e-12, "x0 always true satisfies the clause: {z}");
+        // An implied literal with zero mass is an UNSAT-equivalent.
+        let unit = Cnf::from_clauses(1, vec![vec![1]]);
+        assert!(compile_cnf(&unit, &WmcWeights::new(vec![0.0])).is_none());
+        assert_eq!(weighted_model_count(&unit, &WmcWeights::new(vec![0.0])), 0.0);
+    }
+
+    #[test]
+    fn lit_prob_reflects_polarity() {
+        let w = WmcWeights::new(vec![0.3]);
+        assert!((w.lit_prob(Var::new(0).pos()) - 0.3).abs() < 1e-12);
+        assert!((w.lit_prob(Var::new(0).neg()) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_hit_rate_is_well_defined() {
+        assert_eq!(CompileStats::default().hit_rate(), 0.0);
+        let stats = CompileStats { cache_hits: 3, cache_misses: 1, ..CompileStats::default() };
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
     }
 }

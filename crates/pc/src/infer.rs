@@ -6,7 +6,6 @@
 //! log-space throughout.
 
 use crate::circuit::{Circuit, NodeId, PcNode};
-use crate::log_sum_exp;
 
 /// Partial evidence over the circuit's variables: `Some(v)` fixes a value,
 /// `None` marginalizes the variable out.
@@ -60,6 +59,46 @@ impl Evidence {
     }
 }
 
+/// Reusable scratch space for circuit evaluation.
+///
+/// Every query needs a per-node value array (and MPE additionally an
+/// argmax array and a traversal stack); allocating those afresh per
+/// call dominates the cost of *repeated* queries on one circuit —
+/// marginal sweeps, MPE sweeps, the approximate engine's exact-oracle
+/// training labels. A caller-held `EvalBuffer` amortizes them: the
+/// first query sizes the buffers, every later query reuses them.
+///
+/// ```
+/// use reason_pc::{CircuitBuilder, EvalBuffer, Evidence};
+///
+/// let mut b = CircuitBuilder::new(vec![2]);
+/// let leaf = b.categorical(0, &[0.25, 0.75]);
+/// let c = b.build(leaf).unwrap();
+/// let mut buf = EvalBuffer::new();
+/// let mut ev = Evidence::empty(1);
+/// ev.set(0, 1);
+/// let lp = c.log_probability_with(&ev, &mut buf);
+/// assert!((lp.exp() - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EvalBuffer {
+    vals: Vec<f64>,
+    arg: Vec<usize>,
+    stack: Vec<NodeId>,
+}
+
+impl EvalBuffer {
+    /// An empty buffer; the first query sizes it.
+    pub fn new() -> Self {
+        EvalBuffer::default()
+    }
+
+    /// The per-node log-values of the most recent evaluation.
+    pub fn log_values(&self) -> &[f64] {
+        &self.vals
+    }
+}
+
 /// Result of a most-probable-explanation query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MpeResult {
@@ -76,13 +115,37 @@ impl Circuit {
     /// log-value per node. `out[root]` is the log-probability of the
     /// evidence.
     ///
+    /// Allocates a fresh value vector; repeated queries should prefer
+    /// [`log_values_into`](Self::log_values_into) with a caller-held
+    /// [`EvalBuffer`].
+    ///
     /// # Panics
     ///
     /// Panics if `evidence.len() != self.num_vars()`.
     pub fn log_values(&self, evidence: &Evidence) -> Vec<f64> {
+        let mut buf = EvalBuffer::new();
+        self.log_values_into(evidence, &mut buf);
+        buf.vals
+    }
+
+    /// Evaluates every node bottom-up under `evidence` into `buf`,
+    /// returning the root's log-value (the log-probability of the
+    /// evidence). Per-node values are readable afterwards through
+    /// [`EvalBuffer::log_values`].
+    ///
+    /// This is the flattened, allocation-free evaluator: one linear
+    /// sweep over the node array, no per-call heap traffic once the
+    /// buffer is warm (sum mixtures are folded inline in two passes
+    /// instead of materializing a scratch vector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `evidence.len() != self.num_vars()`.
+    pub fn log_values_into(&self, evidence: &Evidence, buf: &mut EvalBuffer) -> f64 {
         assert_eq!(evidence.len(), self.num_vars(), "evidence arity mismatch");
-        let mut vals = vec![0.0f64; self.num_nodes()];
-        let mut buf: Vec<f64> = Vec::new();
+        buf.vals.clear();
+        buf.vals.resize(self.num_nodes(), 0.0);
+        let vals = &mut buf.vals;
         for (i, node) in self.nodes().iter().enumerate() {
             vals[i] = match node {
                 PcNode::Indicator { var, value } => match evidence.value(*var) {
@@ -96,15 +159,28 @@ impl Circuit {
                 },
                 PcNode::Product { children } => children.iter().map(|c| vals[c.index()]).sum(),
                 PcNode::Sum { children, log_weights } => {
-                    buf.clear();
-                    buf.extend(
-                        children.iter().zip(log_weights).map(|(c, lw)| lw + vals[c.index()]),
-                    );
-                    log_sum_exp(&buf)
+                    // Inline log-sum-exp: max pass then sum pass, same
+                    // numerics as `crate::log_sum_exp` without the
+                    // scratch vector.
+                    let m = children
+                        .iter()
+                        .zip(log_weights)
+                        .map(|(c, lw)| lw + vals[c.index()])
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    if m == f64::NEG_INFINITY {
+                        f64::NEG_INFINITY
+                    } else {
+                        let total: f64 = children
+                            .iter()
+                            .zip(log_weights)
+                            .map(|(c, lw)| (lw + vals[c.index()] - m).exp())
+                            .sum();
+                        m + total.ln()
+                    }
                 }
             };
         }
-        vals
+        vals[self.root().index()]
     }
 
     /// Log-probability of the evidence.
@@ -112,9 +188,21 @@ impl Circuit {
         self.log_values(evidence)[self.root().index()]
     }
 
+    /// [`log_probability`](Self::log_probability) through a reusable
+    /// [`EvalBuffer`] — the repeated-query fast path.
+    pub fn log_probability_with(&self, evidence: &Evidence, buf: &mut EvalBuffer) -> f64 {
+        self.log_values_into(evidence, buf)
+    }
+
     /// Probability of the evidence (linear space).
     pub fn probability(&self, evidence: &Evidence) -> f64 {
         self.log_probability(evidence).exp()
+    }
+
+    /// [`probability`](Self::probability) through a reusable
+    /// [`EvalBuffer`].
+    pub fn probability_with(&self, evidence: &Evidence, buf: &mut EvalBuffer) -> f64 {
+        self.log_values_into(evidence, buf).exp()
     }
 
     /// Log-likelihood of a complete assignment.
@@ -129,9 +217,17 @@ impl Circuit {
     /// Returns a uniform distribution when the evidence itself has zero
     /// probability.
     pub fn marginal(&self, evidence: &Evidence, var: usize) -> Vec<f64> {
+        self.marginal_with(evidence, var, &mut EvalBuffer::new())
+    }
+
+    /// [`marginal`](Self::marginal) through a reusable [`EvalBuffer`]:
+    /// the `arity + 1` circuit evaluations of one marginal query share
+    /// the buffer, and sweeps over many variables reuse it across
+    /// calls.
+    pub fn marginal_with(&self, evidence: &Evidence, var: usize, buf: &mut EvalBuffer) -> Vec<f64> {
         let mut ev = evidence.clone();
         ev.clear(var);
-        let log_z = self.log_probability(&ev);
+        let log_z = self.log_probability_with(&ev, buf);
         let arity = self.arities()[var];
         if log_z == f64::NEG_INFINITY {
             return vec![1.0 / arity as f64; arity];
@@ -139,7 +235,7 @@ impl Circuit {
         (0..arity)
             .map(|v| {
                 ev.set(var, v);
-                (self.log_probability(&ev) - log_z).exp()
+                (self.log_probability_with(&ev, buf) - log_z).exp()
             })
             .collect()
     }
@@ -167,10 +263,20 @@ impl Circuit {
     /// the result is the exact MPE; otherwise it is the standard
     /// max-product approximation.
     pub fn mpe(&self, evidence: &Evidence) -> MpeResult {
+        self.mpe_with(evidence, &mut EvalBuffer::new())
+    }
+
+    /// [`mpe`](Self::mpe) through a reusable [`EvalBuffer`] — MPE
+    /// sweeps over many evidence patterns reuse the value/argmax
+    /// arrays and the traversal stack.
+    pub fn mpe_with(&self, evidence: &Evidence, buf: &mut EvalBuffer) -> MpeResult {
         // Upward max pass.
         let n = self.num_nodes();
-        let mut vals = vec![0.0f64; n];
-        let mut arg: Vec<usize> = vec![0; n]; // argmax child position for sums
+        buf.vals.clear();
+        buf.vals.resize(n, 0.0);
+        buf.arg.clear();
+        buf.arg.resize(n, 0); // argmax child position for sums
+        let (vals, arg) = (&mut buf.vals, &mut buf.arg);
         for (i, node) in self.nodes().iter().enumerate() {
             match node {
                 PcNode::Indicator { var, value } => {
@@ -204,7 +310,9 @@ impl Circuit {
         // Downward trace selecting one child per sum.
         let mut assignment: Vec<usize> =
             (0..self.num_vars()).map(|v| evidence.value(v).unwrap_or(0)).collect();
-        let mut stack: Vec<NodeId> = vec![self.root()];
+        let stack = &mut buf.stack;
+        stack.clear();
+        stack.push(self.root());
         while let Some(id) = stack.pop() {
             match self.node(id) {
                 PcNode::Indicator { var, value } => {

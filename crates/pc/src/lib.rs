@@ -19,7 +19,12 @@
 //!   log-likelihood-loss criterion `Δ log L ≤ (1/|D|) Σ_x F(n,c)(x)`.
 //! * [`compile`] — knowledge compilation from CNF formulas to smooth,
 //!   deterministic circuits (how R²-Guard-style safety rules become PCs),
-//!   with exact weighted model counting.
+//!   with exact weighted model counting. The compiler is a top-down
+//!   component-caching (sharpSAT/c2d-style) engine: unit propagation,
+//!   connected-component decomposition, dynamic variable ordering, and
+//!   hashed component fingerprints over `reason_sat`'s shared clause
+//!   pool. [`CompiledWmc`] answers repeated queries from one
+//!   compilation.
 //! * [`structure`] — seeded structure generators (mixture-of-factorization
 //!   region trees) for workload synthesis.
 //! * [`mod@sample`] — forward sampling.
@@ -57,9 +62,12 @@ pub mod sample;
 pub mod structure;
 
 pub use circuit::{Circuit, CircuitBuilder, CircuitError, NodeId, PcNode};
-pub use compile::{compile_cnf, WmcWeights};
+pub use compile::{
+    compile_cnf, compile_cnf_shannon, compile_cnf_with, compile_cnf_with_stats,
+    weighted_model_count, CompileConfig, CompileStats, CompiledWmc, VarOrder, WmcWeights,
+};
 pub use flows::{dataset_flows, em_step, EdgeFlows};
-pub use infer::{Evidence, MpeResult};
+pub use infer::{EvalBuffer, Evidence, MpeResult};
 pub use prune::{prune_by_flow, PruneReport};
 pub use sample::sample;
 pub use structure::{random_mixture_circuit, StructureConfig};

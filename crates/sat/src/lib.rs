@@ -19,6 +19,11 @@
 //!   variables.
 //! * [`cube`] — cube-and-conquer: lookahead cube generation plus sequential
 //!   or parallel CDCL conquering.
+//! * [`pool`] — a shared indexed clause pool ([`ClausePool`]) and a
+//!   trail-based unit propagator ([`Propagator`]) for search-style
+//!   consumers that name residual formulas by clause id instead of
+//!   cloning them — the substrate of `reason-pc`'s top-down
+//!   component-caching compiler.
 //! * [`preprocess`] — unit/pure-literal simplification, binary implication
 //!   graph construction, failed-literal probing, hidden-literal elimination,
 //!   and equivalent-literal substitution. These are the symbolic half of
@@ -50,6 +55,7 @@ pub mod cube;
 pub mod dpll;
 pub mod gen;
 pub mod lookahead;
+pub mod pool;
 pub mod preprocess;
 pub mod types;
 
@@ -62,6 +68,7 @@ pub use cnf::{Cnf, DimacsError};
 pub use cube::{CubeAndConquer, CubeConfig, CubeOutcome};
 pub use dpll::DpllSolver;
 pub use lookahead::{Lookahead, LookaheadScore};
+pub use pool::{ClausePool, Propagator};
 pub use preprocess::{BinaryImplicationGraph, PreprocessResult, Preprocessor};
 pub use types::{Clause, Lit, Var};
 

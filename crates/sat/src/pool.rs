@@ -1,0 +1,353 @@
+//! Shared indexed clause pool and trail-based unit propagation.
+//!
+//! Search-style consumers — the top-down knowledge compiler in
+//! `reason-pc` is the motivating one — need three things the plain
+//! [`Cnf`] representation does not give them: stable integer clause
+//! ids (so residual formulas can be *named* instead of cloned), a
+//! per-variable occurrence index (so connected components can be found
+//! by flood fill), and an undoable assignment with unit propagation
+//! (so implied literals never become search branches). [`ClausePool`]
+//! and [`Propagator`] provide exactly that, kept separate from the
+//! CDCL solver's internal watched-literal arena: the pool is immutable
+//! and shared, the propagator is a small trail that many nested
+//! queries can push onto and roll back.
+//!
+//! ```
+//! use reason_sat::{ClausePool, Cnf, Propagator, Var};
+//!
+//! // (x0) & (!x0 | x1): assuming nothing, propagation fixes both.
+//! let cnf = Cnf::from_clauses(2, vec![vec![1], vec![-1, 2]]);
+//! let pool = ClausePool::new(&cnf);
+//! let mut prop = Propagator::new(pool.num_vars());
+//! let all: Vec<u32> = (0..pool.num_clauses() as u32).collect();
+//! assert!(prop.propagate(&pool, &all));
+//! assert_eq!(prop.value(Var::new(0)), Some(true));
+//! assert_eq!(prop.value(Var::new(1)), Some(true));
+//! ```
+
+use crate::cnf::Cnf;
+use crate::types::{Lit, Var};
+
+/// An immutable, indexed clause arena: clause `c` is addressable as a
+/// literal slice, and every variable knows which clauses mention it.
+///
+/// The pool is the shared substrate for component-caching search: a
+/// residual formula is a *list of clause ids* plus the current
+/// assignment, never a cloned clause set.
+#[derive(Debug, Clone)]
+pub struct ClausePool {
+    num_vars: usize,
+    lits: Vec<Lit>,
+    /// Clause `c` occupies `lits[bounds[c] .. bounds[c + 1]]`.
+    bounds: Vec<u32>,
+    /// `occurs[v]` = ids of clauses containing variable `v` (either
+    /// polarity), each id listed once, in increasing order.
+    occurs: Vec<Vec<u32>>,
+}
+
+impl ClausePool {
+    /// Indexes the clauses of `cnf`.
+    pub fn new(cnf: &Cnf) -> Self {
+        let num_vars = cnf.num_vars();
+        let mut lits = Vec::with_capacity(cnf.num_literals());
+        let mut bounds = Vec::with_capacity(cnf.num_clauses() + 1);
+        let mut occurs: Vec<Vec<u32>> = vec![Vec::new(); num_vars];
+        bounds.push(0);
+        for (id, clause) in cnf.clauses().iter().enumerate() {
+            for &l in clause.iter() {
+                lits.push(l);
+                let occ = &mut occurs[l.var().index()];
+                // A variable occurring twice in one clause (duplicate or
+                // tautological literals) is still listed once.
+                if occ.last() != Some(&(id as u32)) {
+                    occ.push(id as u32);
+                }
+            }
+            bounds.push(lits.len() as u32);
+        }
+        ClausePool { num_vars, lits, bounds, occurs }
+    }
+
+    /// Number of variables in the universe.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of clauses in the pool.
+    pub fn num_clauses(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// The literals of clause `id`.
+    pub fn clause(&self, id: u32) -> &[Lit] {
+        let lo = self.bounds[id as usize] as usize;
+        let hi = self.bounds[id as usize + 1] as usize;
+        &self.lits[lo..hi]
+    }
+
+    /// Ids of the clauses mentioning `var`, in increasing order.
+    pub fn occurrences(&self, var: Var) -> &[u32] {
+        &self.occurs[var.index()]
+    }
+}
+
+/// A trail-based partial assignment with unit propagation over clause
+/// subsets of a [`ClausePool`].
+///
+/// Assignments are pushed with [`assume`](Self::assume) (or implied by
+/// [`propagate`](Self::propagate)) and rolled back to any earlier
+/// [`mark`](Self::mark) with [`undo_to`](Self::undo_to) — the
+/// backtracking discipline of a DPLL-style search, without the CDCL
+/// solver's clause-learning machinery.
+#[derive(Debug, Clone)]
+pub struct Propagator {
+    /// Per-variable value; `i8` keeps the hot array dense
+    /// (`-1` unassigned, `0` false, `1` true).
+    values: Vec<i8>,
+    trail: Vec<Lit>,
+}
+
+impl Propagator {
+    /// An empty assignment over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        Propagator { values: vec![-1; num_vars], trail: Vec::new() }
+    }
+
+    /// The current value of `var`, if assigned.
+    pub fn value(&self, var: Var) -> Option<bool> {
+        match self.values[var.index()] {
+            -1 => None,
+            v => Some(v == 1),
+        }
+    }
+
+    /// The truth value of `lit` under the current assignment, if its
+    /// variable is assigned.
+    pub fn lit_value(&self, lit: Lit) -> Option<bool> {
+        self.value(lit.var()).map(|v| lit.eval(v))
+    }
+
+    /// `true` when `var` has a value.
+    pub fn is_assigned(&self, var: Var) -> bool {
+        self.values[var.index()] != -1
+    }
+
+    /// The assigned literals, oldest first (decisions and implications
+    /// interleaved in assignment order).
+    pub fn trail(&self) -> &[Lit] {
+        &self.trail
+    }
+
+    /// Number of assigned variables.
+    pub fn num_assigned(&self) -> usize {
+        self.trail.len()
+    }
+
+    /// A checkpoint for [`undo_to`](Self::undo_to): the current trail
+    /// length.
+    pub fn mark(&self) -> usize {
+        self.trail.len()
+    }
+
+    /// Asserts `lit` true.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the literal's variable is already assigned.
+    pub fn assume(&mut self, lit: Lit) {
+        let v = lit.var().index();
+        assert_eq!(self.values[v], -1, "variable {} already assigned", lit.var());
+        self.values[v] = i8::from(!lit.is_neg());
+        self.trail.push(lit);
+    }
+
+    /// Rolls the assignment back to a previous [`mark`](Self::mark).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mark` exceeds the current trail length.
+    pub fn undo_to(&mut self, mark: usize) {
+        assert!(mark <= self.trail.len(), "mark {mark} beyond trail");
+        for lit in self.trail.drain(mark..) {
+            self.values[lit.var().index()] = -1;
+        }
+    }
+
+    /// `true` when some literal of clause `id` is true under the
+    /// current assignment.
+    pub fn clause_satisfied(&self, pool: &ClausePool, id: u32) -> bool {
+        pool.clause(id).iter().any(|&l| self.lit_value(l) == Some(true))
+    }
+
+    /// Unit-propagates to fixpoint over the clauses named by
+    /// `clause_ids`, pushing every implied literal onto the trail.
+    ///
+    /// Returns `false` on conflict (some clause has every literal
+    /// false); the trail then holds whatever was implied before the
+    /// conflict, and the caller is expected to roll back with
+    /// [`undo_to`](Self::undo_to). Clauses outside `clause_ids` are
+    /// never examined, so disjoint subproblems can share one
+    /// propagator.
+    ///
+    /// Propagation is round-based (no watch lists): each round scans
+    /// the clause list once and rounds repeat until no new literal is
+    /// implied — linear-per-round, which is the right trade for the
+    /// small residual components this type exists to serve. A clause
+    /// whose only unassigned literals are duplicates of one another is
+    /// treated as having two free slots (not propagated); duplicate
+    /// literals cost completeness of *propagation* only, never
+    /// soundness of the search that hosts it.
+    #[must_use = "a false return is a conflict the caller must unwind"]
+    pub fn propagate(&mut self, pool: &ClausePool, clause_ids: &[u32]) -> bool {
+        loop {
+            let mut progressed = false;
+            for &c in clause_ids {
+                let mut satisfied = false;
+                let mut unassigned = 0usize;
+                let mut unit = None;
+                for &l in pool.clause(c) {
+                    match self.lit_value(l) {
+                        Some(true) => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(false) => {}
+                        None => {
+                            unassigned += 1;
+                            if unassigned > 1 {
+                                break;
+                            }
+                            unit = Some(l);
+                        }
+                    }
+                }
+                if satisfied || unassigned > 1 {
+                    continue;
+                }
+                match unit {
+                    None => return false, // every literal false
+                    Some(l) => {
+                        self.assume(l);
+                        progressed = true;
+                    }
+                }
+            }
+            if !progressed {
+                return true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_ids(pool: &ClausePool) -> Vec<u32> {
+        (0..pool.num_clauses() as u32).collect()
+    }
+
+    #[test]
+    fn pool_indexes_clauses_and_occurrences() {
+        let cnf = Cnf::from_clauses(3, vec![vec![1, -2], vec![2, 3], vec![-3]]);
+        let pool = ClausePool::new(&cnf);
+        assert_eq!(pool.num_vars(), 3);
+        assert_eq!(pool.num_clauses(), 3);
+        assert_eq!(pool.clause(0), &[Lit::from_dimacs(1), Lit::from_dimacs(-2)]);
+        assert_eq!(pool.occurrences(Var::new(1)), &[0, 1]);
+        assert_eq!(pool.occurrences(Var::new(2)), &[1, 2]);
+    }
+
+    #[test]
+    fn duplicate_literals_list_the_clause_once() {
+        let cnf = Cnf::from_clauses(2, vec![vec![1, 1, -1], vec![2]]);
+        let pool = ClausePool::new(&cnf);
+        assert_eq!(pool.occurrences(Var::new(0)), &[0]);
+    }
+
+    #[test]
+    fn assume_and_undo_roundtrip() {
+        let mut prop = Propagator::new(3);
+        let mark = prop.mark();
+        prop.assume(Var::new(1).neg());
+        assert_eq!(prop.value(Var::new(1)), Some(false));
+        assert_eq!(prop.lit_value(Var::new(1).neg()), Some(true));
+        assert_eq!(prop.trail(), &[Var::new(1).neg()]);
+        prop.undo_to(mark);
+        assert!(!prop.is_assigned(Var::new(1)));
+        assert_eq!(prop.num_assigned(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already assigned")]
+    fn double_assume_panics() {
+        let mut prop = Propagator::new(1);
+        prop.assume(Var::new(0).pos());
+        prop.assume(Var::new(0).neg());
+    }
+
+    #[test]
+    fn propagation_chains_implications() {
+        // x0 & (!x0 | x1) & (!x1 | x2)
+        let cnf = Cnf::from_clauses(3, vec![vec![1], vec![-1, 2], vec![-2, 3]]);
+        let pool = ClausePool::new(&cnf);
+        let mut prop = Propagator::new(3);
+        assert!(prop.propagate(&pool, &all_ids(&pool)));
+        assert_eq!(prop.num_assigned(), 3);
+        for v in 0..3 {
+            assert_eq!(prop.value(Var::new(v)), Some(true));
+        }
+    }
+
+    #[test]
+    fn propagation_detects_conflicts() {
+        let cnf = Cnf::from_clauses(2, vec![vec![1], vec![-1, 2], vec![-2, -1]]);
+        let pool = ClausePool::new(&cnf);
+        let mut prop = Propagator::new(2);
+        assert!(!prop.propagate(&pool, &all_ids(&pool)));
+    }
+
+    #[test]
+    fn propagation_respects_the_clause_subset() {
+        let cnf = Cnf::from_clauses(2, vec![vec![1], vec![2]]);
+        let pool = ClausePool::new(&cnf);
+        let mut prop = Propagator::new(2);
+        assert!(prop.propagate(&pool, &[0]));
+        assert_eq!(prop.value(Var::new(0)), Some(true));
+        assert!(!prop.is_assigned(Var::new(1)));
+    }
+
+    #[test]
+    fn conflict_unwinds_cleanly_with_undo() {
+        let cnf = Cnf::from_clauses(2, vec![vec![-1, 2], vec![-1, -2]]);
+        let pool = ClausePool::new(&cnf);
+        let mut prop = Propagator::new(2);
+        let mark = prop.mark();
+        prop.assume(Var::new(0).pos());
+        assert!(!prop.propagate(&pool, &all_ids(&pool)));
+        prop.undo_to(mark);
+        // The other branch is fine.
+        prop.assume(Var::new(0).neg());
+        assert!(prop.propagate(&pool, &all_ids(&pool)));
+        assert_eq!(prop.value(Var::new(0)), Some(false));
+    }
+
+    #[test]
+    fn satisfied_clause_queries() {
+        let cnf = Cnf::from_clauses(2, vec![vec![1, 2]]);
+        let pool = ClausePool::new(&cnf);
+        let mut prop = Propagator::new(2);
+        assert!(!prop.clause_satisfied(&pool, 0));
+        prop.assume(Var::new(1).pos());
+        assert!(prop.clause_satisfied(&pool, 0));
+    }
+
+    #[test]
+    fn empty_clause_is_an_immediate_conflict() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_clause(crate::types::Clause::new(vec![]));
+        let pool = ClausePool::new(&cnf);
+        let mut prop = Propagator::new(1);
+        assert!(!prop.propagate(&pool, &all_ids(&pool)));
+    }
+}

@@ -41,7 +41,9 @@ use crossbeam::thread;
 use parking_lot::Mutex;
 use reason_approx::{ApproxConfig, ApproxEngine};
 use reason_neural::{LlmProxy, Matrix, Mlp, MlpBuilder};
-use reason_pc::{random_mixture_circuit, Circuit, Evidence, StructureConfig, WmcWeights};
+use reason_pc::{
+    random_mixture_circuit, Circuit, CompiledWmc, Evidence, StructureConfig, WmcWeights,
+};
 use reason_sat::gen::random_ksat;
 use reason_sat::{Cnf, CubeAndConquer, CubeConfig, Solution};
 
@@ -115,6 +117,18 @@ pub enum SymbolicStage {
         probs: Vec<f64>,
         /// Estimator configuration (method, budget, seed).
         config: ApproxConfig,
+    },
+    /// Exact weighted model counting through the top-down
+    /// component-caching compiler ([`reason_pc::CompiledWmc`]): the
+    /// fast path that makes exact WMC a real executor lane instead of
+    /// an offline oracle. The verdict is a degenerate bracket
+    /// (`lower == estimate == upper`), directly comparable to
+    /// [`SymbolicStage::Approx`] answers on the same formula.
+    ExactWmc {
+        /// The formula.
+        cnf: Cnf,
+        /// Per-variable Bernoulli marginals, `probs[v] = p(X_v = 1)`.
+        probs: Vec<f64>,
     },
     /// A synthetic stage of known duration (sleeps).
     Synthetic {
@@ -417,6 +431,10 @@ fn run_symbolic(stage: &SymbolicStage) -> Verdict {
             let est = ApproxEngine::new(*config).wmc(cnf, &WmcWeights::new(probs.clone()));
             Verdict::Wmc { estimate: est.estimate, lower: est.lower, upper: est.upper }
         }
+        SymbolicStage::ExactWmc { cnf, probs } => {
+            let z = CompiledWmc::new(cnf, &WmcWeights::new(probs.clone())).wmc();
+            Verdict::Wmc { estimate: z, lower: z, upper: z }
+        }
         SymbolicStage::Synthetic { duration } => {
             std::thread::sleep(*duration);
             Verdict::Done
@@ -424,11 +442,12 @@ fn run_symbolic(stage: &SymbolicStage) -> Verdict {
     }
 }
 
-/// A seeded mixed SAT/PC/approx batch with MLP neural stages — the
-/// workload the `reason-eval pipeline` experiment and the pipeline
-/// bench drive. Lanes rotate SAT cube-and-conquer, exact PC marginal
-/// inference, and anytime approximate WMC (a trimmed-budget
-/// [`ApproxConfig`], so demo batches stay interactive).
+/// A seeded mixed SAT/PC/approx/exact-WMC batch with MLP neural stages
+/// — the workload the `reason-eval pipeline` experiment and the
+/// pipeline bench drive. Lanes rotate SAT cube-and-conquer, exact PC
+/// marginal inference, anytime approximate WMC (a trimmed-budget
+/// [`ApproxConfig`], so demo batches stay interactive), and exact WMC
+/// through the top-down compiler's fast path.
 pub fn demo_batch(tasks: usize, seed: u64) -> Vec<BatchTask> {
     (0..tasks)
         .map(|i| {
@@ -437,7 +456,7 @@ pub fn demo_batch(tasks: usize, seed: u64) -> Vec<BatchTask> {
                 MlpBuilder::new(16).layer(32, true, s).layer(8, false, s + 1).softmax().build();
             let input = Matrix::random(4, 16, 1.0, s + 2);
             let neural = NeuralStage::Mlp { mlp, input };
-            let symbolic = match i % 3 {
+            let symbolic = match i % 4 {
                 0 => SymbolicStage::Sat {
                     cnf: random_ksat(12, 50, 3, s + 3),
                     config: CubeConfig { max_depth: 3, ..CubeConfig::default() },
@@ -449,14 +468,20 @@ pub fn demo_batch(tasks: usize, seed: u64) -> Vec<BatchTask> {
                         num_components: 2,
                         seed: s + 4,
                     });
+                    // PC tasks land at i = 4k + 1, so alternate the
+                    // evidence value per PC task, not per task index.
                     let mut evidence = Evidence::empty(8);
-                    evidence.set(0, (i / 2) % 2);
+                    evidence.set(0, (i / 4) % 2);
                     SymbolicStage::Pc { circuit, evidence }
                 }
-                _ => SymbolicStage::Approx {
+                2 => SymbolicStage::Approx {
                     cnf: random_ksat(14, 40, 3, s + 5),
                     probs: (0..14).map(|v| 0.35 + 0.02 * v as f64).collect(),
                     config: demo_approx_config(s + 6),
+                },
+                _ => SymbolicStage::ExactWmc {
+                    cnf: random_ksat(16, 40, 3, s + 7),
+                    probs: (0..16).map(|v| 0.4 + 0.015 * v as f64).collect(),
                 },
             };
             BatchTask { name: format!("task-{i}"), neural, symbolic }
@@ -612,14 +637,48 @@ mod tests {
     }
 
     #[test]
-    fn demo_batch_rotates_all_three_symbolic_lanes() {
-        let tasks = demo_batch(6, 0);
+    fn demo_batch_rotates_all_four_symbolic_lanes() {
+        let tasks = demo_batch(8, 0);
         assert!(matches!(tasks[0].symbolic, SymbolicStage::Sat { .. }));
         assert!(matches!(tasks[1].symbolic, SymbolicStage::Pc { .. }));
         assert!(matches!(tasks[2].symbolic, SymbolicStage::Approx { .. }));
+        assert!(matches!(tasks[3].symbolic, SymbolicStage::ExactWmc { .. }));
         let report = BatchExecutor::new(ExecutorConfig::overlapped(2)).run(&tasks);
         let wmc = report.verdicts().iter().filter(|v| matches!(v, Verdict::Wmc { .. })).count();
-        assert_eq!(wmc, 2);
+        assert_eq!(wmc, 4, "two approx + two exact WMC verdicts");
+        // Exact lanes report degenerate brackets, approx lanes real ones.
+        let exact = report
+            .verdicts()
+            .iter()
+            .filter(|v| {
+                matches!(v, Verdict::Wmc { estimate, lower, upper }
+                if lower == estimate && estimate == upper)
+            })
+            .count();
+        assert_eq!(exact, 2);
+    }
+
+    #[test]
+    fn exact_wmc_lane_matches_the_compiler_oracle() {
+        let cnf = random_ksat(10, 26, 3, 4);
+        let probs: Vec<f64> = (0..10).map(|v| 0.3 + 0.04 * v as f64).collect();
+        let tasks = vec![BatchTask {
+            name: "exact".into(),
+            neural: NeuralStage::Synthetic { duration: Duration::from_millis(1) },
+            symbolic: SymbolicStage::ExactWmc { cnf: cnf.clone(), probs: probs.clone() },
+        }];
+        let serial = BatchExecutor::new(ExecutorConfig::sequential()).run(&tasks);
+        let threaded = BatchExecutor::new(ExecutorConfig::overlapped(2)).run(&tasks);
+        assert!(threaded.agrees_with(&serial));
+        let expect = CompiledWmc::new(&cnf, &WmcWeights::new(probs)).wmc();
+        match &serial.results[0].verdict {
+            Verdict::Wmc { estimate, lower, upper } => {
+                assert_eq!(*estimate, expect);
+                assert_eq!(*lower, expect);
+                assert_eq!(*upper, expect);
+            }
+            other => panic!("expected a WMC verdict, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Circuit-size regression guard for the knowledge compiler.
+//!
+//! The top-down component-caching compiler's acceptance bar (PR 4) has
+//! two halves, both pinned here on fixed seeds:
+//!
+//! 1. **never larger than the legacy baseline** — on structured rule
+//!    sets and fixed random instances, the new compiler's node count
+//!    must not exceed the static-order Shannon expansion's;
+//! 2. **absolute budgets** — compilation is deterministic, so the node
+//!    counts measured when this guard was written are hard ceilings;
+//!    any future compiler change that inflates a circuit past them
+//!    fails CI instead of silently regressing.
+//!
+//! Budgets are the exact counts measured at pin time — a change that
+//! *shrinks* circuits keeps passing (and should then re-pin), a change
+//! that grows any of them must justify itself.
+
+use reason::pc::{compile_cnf, compile_cnf_shannon, WmcWeights};
+use reason::sat::gen::{graph_coloring, random_ksat};
+use reason::sat::Cnf;
+
+/// An implication chain `x1 → x2 → … → xn`.
+fn chain_cnf(num_vars: usize) -> Cnf {
+    Cnf::from_clauses(num_vars, (1..num_vars as i32).map(|i| vec![-i, i + 1]).collect())
+}
+
+#[test]
+fn structured_chains_stay_under_budget_and_below_shannon() {
+    // (instance, pinned node budget for the top-down compiler)
+    for (n, budget) in [(12usize, 61usize), (64, 347)] {
+        let cnf = chain_cnf(n);
+        let w = WmcWeights::uniform(n);
+        let new = compile_cnf(&cnf, &w).expect("chains are satisfiable");
+        let old = compile_cnf_shannon(&cnf, &w).expect("chains are satisfiable");
+        assert!(
+            new.num_nodes() <= old.num_nodes(),
+            "chain n={n}: top-down {} nodes exceeds shannon {}",
+            new.num_nodes(),
+            old.num_nodes()
+        );
+        assert!(
+            new.num_nodes() <= budget,
+            "chain n={n}: {} nodes exceeds pinned budget {budget}",
+            new.num_nodes()
+        );
+    }
+}
+
+#[test]
+fn fixed_random_seeds_never_exceed_shannon() {
+    // Random 3-SAT across fixed seeds: old/new must agree on
+    // satisfiability and the new compiler must never emit more nodes.
+    for seed in [1u64, 5, 9] {
+        for n in [10usize, 12, 14] {
+            let cnf = random_ksat(n, 2 * n + 6, 3, seed);
+            let w = WmcWeights::uniform(n);
+            match (compile_cnf(&cnf, &w), compile_cnf_shannon(&cnf, &w)) {
+                (Some(new), Some(old)) => assert!(
+                    new.num_nodes() <= old.num_nodes(),
+                    "n={n} seed={seed}: top-down {} nodes vs shannon {}",
+                    new.num_nodes(),
+                    old.num_nodes()
+                ),
+                (None, None) => {}
+                (new, old) => panic!(
+                    "n={n} seed={seed}: satisfiability disagreement \
+                     (topdown {:?} vs shannon {:?})",
+                    new.map(|c| c.num_nodes()),
+                    old.map(|c| c.num_nodes())
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn pinned_random_instances_stay_under_budget() {
+    // (n, m, seed, pinned top-down node budget) — measured at pin time;
+    // compilation is deterministic, so these are exact today.
+    for (n, m, seed, budget) in
+        [(10usize, 26usize, 1u64, 60usize), (12, 30, 5, 143), (14, 34, 9, 124)]
+    {
+        let cnf = random_ksat(n, m, 3, seed);
+        let new = compile_cnf(&cnf, &WmcWeights::uniform(n)).expect("pinned seeds are SAT");
+        assert!(
+            new.num_nodes() <= budget,
+            "n={n} seed={seed}: {} nodes exceeds pinned budget {budget}",
+            new.num_nodes()
+        );
+    }
+}
+
+#[test]
+fn structured_coloring_instances_stay_under_budget() {
+    // Graph-coloring encodings at n = 54 and n = 72 variables — the
+    // structured n ≥ 60 scale the legacy compiler never reached. Only
+    // the top-down compiler runs here; budgets pin its output size.
+    for (nodes, edges, seed, budget) in [(18usize, 27usize, 1u64, 809usize), (24, 36, 42, 1092)] {
+        let cnf = graph_coloring(nodes, edges, 3, seed);
+        let w = WmcWeights::uniform(cnf.num_vars());
+        let new = compile_cnf(&cnf, &w).expect("pinned colorings are satisfiable");
+        assert!(
+            new.num_nodes() <= budget,
+            "coloring {nodes}x{edges} seed={seed}: {} nodes exceeds pinned budget {budget}",
+            new.num_nodes()
+        );
+    }
+}

@@ -164,6 +164,50 @@ proptest! {
     }
 
     #[test]
+    fn topdown_compiler_matches_brute_up_to_16_vars(n in 4usize..=16, seed in 0u64..10_000) {
+        // The component-caching compiler against exhaustive weighted
+        // enumeration on random 3-CNF across the whole tractable range,
+        // under shared-seed random weights — plus determinism: the same
+        // input must compile to the bit-identical circuit every run.
+        use rand::{Rng, SeedableRng};
+        let m = 2 * n + (seed % 17) as usize;
+        let cnf = reason::sat::gen::random_ksat(n, m, 3, seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC0117);
+        let probs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.05..0.95)).collect();
+        let exact = reason::sat::weighted_count(&cnf, &probs);
+        let weights = WmcWeights::new(probs);
+        let first = compile_cnf(&cnf, &weights);
+        let second = compile_cnf(&cnf, &weights);
+        prop_assert_eq!(&first, &second, "compilation must be deterministic across runs");
+        match first {
+            Some(circuit) => {
+                let wmc = circuit.probability(&Evidence::empty(n));
+                prop_assert!((wmc - exact).abs() < 1e-9, "compiled {} vs brute {}", wmc, exact);
+                prop_assert!(circuit.is_syntactically_deterministic());
+            }
+            None => prop_assert!(exact == 0.0, "UNSAT compile but brute mass {}", exact),
+        }
+    }
+
+    #[test]
+    fn topdown_and_shannon_compile_the_same_distribution(cnf in arb_cnf(7, 14)) {
+        // Old and new compiler must agree query-for-query, not only on
+        // the root: every complete assignment gets the same likelihood.
+        let weights = WmcWeights::new((0..7).map(|v| 0.25 + 0.07 * v as f64).collect());
+        let new = compile_cnf(&cnf, &weights);
+        let old = reason::pc::compile_cnf_shannon(&cnf, &weights);
+        prop_assert_eq!(new.is_some(), old.is_some());
+        if let (Some(new), Some(old)) = (new, old) {
+            for bits in 0u32..128 {
+                let assignment: Vec<usize> = (0..7).map(|v| (bits >> v & 1) as usize).collect();
+                let a = new.log_likelihood(&assignment).exp();
+                let b = old.log_likelihood(&assignment).exp();
+                prop_assert!((a - b).abs() < 1e-12, "assignment {:07b}: {} vs {}", bits, a, b);
+            }
+        }
+    }
+
+    #[test]
     fn approx_brackets_are_well_formed_and_track_brute_truth(cnf in arb_cnf(8, 14), seed in 0u64..1000) {
         // Small-budget Monte-Carlo WMC: the anytime bracket must be
         // well-formed at every checkpoint, and the enumerated truth must
