@@ -166,9 +166,22 @@ impl PredictionNet {
     ///
     /// Panics if `evidence.len() != self.num_vars()`.
     pub fn predict(&self, evidence: &[Option<bool>]) -> f64 {
-        assert_eq!(evidence.len(), self.num_vars, "evidence arity mismatch");
-        let x = Matrix::from_vec(1, 2 * self.num_vars, encode(evidence));
+        let x = Self::encode_query(evidence, self.num_vars);
         f64::from(self.net.forward(&x).at(0, 0))
+    }
+
+    /// Encodes partial evidence as the net's `1 × 2n` input matrix —
+    /// the two-hot feature layout [`predict`](Self::predict) uses,
+    /// exposed so a serving router can run the frozen net
+    /// ([`to_mlp`](Self::to_mlp)) as a `reason_system` neural stage and
+    /// read the prediction off the stage's output buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `evidence.len() != num_vars`.
+    pub fn encode_query(evidence: &[Option<bool>], num_vars: usize) -> Matrix {
+        assert_eq!(evidence.len(), num_vars, "evidence arity mismatch");
+        Matrix::from_vec(1, 2 * num_vars, encode(evidence))
     }
 
     /// Predicted posterior marginal `q_v ≈ p(X_v = 1 | φ)` for every

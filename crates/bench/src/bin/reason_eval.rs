@@ -5,19 +5,23 @@
 //! reason-eval <experiment> [tasks] [workers] [--json] [--seed N]
 //!   experiments: fig2 fig3a fig3b fig3c fig3d table2 table3 table4
 //!                fig8 fig9 fig11 fig12 fig13 table5 ablation dse
-//!                pipeline approx compile all
-//!   pipeline: runs [tasks] mixed SAT/PC/approx tasks on the threaded
-//!             BatchExecutor with [workers] symbolic workers
+//!                pipeline approx compile serve all
+//!   pipeline: runs [tasks] mixed SAT/PC/approx/exact-WMC/serve tasks
+//!             on the threaded BatchExecutor with [workers] symbolic
+//!             workers
 //!   approx:   exact-vs-approximate WMC sweep (reason-approx)
 //!   compile:  knowledge-compilation scaling sweep — top-down
 //!             component-caching compiler vs the legacy Shannon
 //!             baseline; [tasks] caps the baseline's variable count
 //!             (default 28)
+//!   serve:    knowledge-base serving sweep (reason-serve) — persistent
+//!             circuit store, repeated-query speedups, router deadline
+//!             fallbacks, incremental clause edits
 //!   --seed N: seeds the seedable experiments (approx, pipeline,
-//!             compile)
-//!   --json:   machine-readable output — native rows for approx and
-//!             compile, a {"experiment", "text"} wrapper for the
-//!             table/figure experiments — so sweeps are scriptable
+//!             compile, serve)
+//!   --json:   machine-readable output — native rows for approx,
+//!             compile, and serve, a {"experiment", "text"} wrapper for
+//!             the table/figure experiments — so sweeps are scriptable
 //! ```
 
 use reason_bench::experiments;
@@ -39,7 +43,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: reason-eval <experiment> [tasks] [workers] [--json] [--seed N]\n\
          experiments: fig2 fig3a fig3b fig3c fig3d table2 table3 table4 fig8 fig9 \
-         fig11 fig12 fig13 table5 ablation dse pipeline approx compile all"
+         fig11 fig12 fig13 table5 ablation dse pipeline approx compile serve all"
     );
     std::process::exit(2);
 }
@@ -104,6 +108,7 @@ fn main() {
             "pipeline" => Some(experiments::pipeline(opts.tasks, opts.workers, opts.seed)),
             "approx" => Some(experiments::approx(opts.seed)),
             "compile" => Some(experiments::compile_report(opts.seed, opts.baseline_cap)),
+            "serve" => Some(experiments::serve(opts.seed)),
             _ => None,
         }
     };
@@ -114,6 +119,7 @@ fn main() {
         match name {
             "approx" => Some(experiments::approx_json(opts.seed)),
             "compile" => Some(experiments::compile_json(opts.seed, opts.baseline_cap)),
+            "serve" => Some(experiments::serve_json(opts.seed)),
             _ => run(name).map(|text| {
                 Json::Obj(vec![
                     ("experiment".into(), Json::Str(name.into())),
@@ -126,6 +132,7 @@ fn main() {
     let all = [
         "fig2", "fig3a", "fig3b", "fig3c", "fig3d", "table2", "table3", "table4", "fig8", "fig9",
         "fig11", "fig12", "fig13", "table5", "ablation", "dse", "pipeline", "approx", "compile",
+        "serve",
     ];
     if which == "all" {
         if opts.json {

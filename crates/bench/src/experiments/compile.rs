@@ -235,7 +235,15 @@ fn rows_to_json(rows: &[CompileRow], seed: u64) -> Json {
                             ("decisions".into(), Json::Num(r.stats.decisions as f64)),
                             ("propagations".into(), Json::Num(r.stats.propagations as f64)),
                             ("components".into(), Json::Num(r.stats.components as f64)),
+                            ("cache_hits".into(), Json::Num(r.stats.cache_hits as f64)),
+                            ("cache_misses".into(), Json::Num(r.stats.cache_misses as f64)),
                             ("cache_hit_rate".into(), Json::Num(r.stats.hit_rate())),
+                            // 16 B/node + 8 B/edge, the Circuit
+                            // footprint metric (paper Table IV).
+                            (
+                                "circuit_bytes".into(),
+                                Json::Num((16 * r.stats.nodes + 8 * r.stats.edges) as f64),
+                            ),
                         ];
                         if let (Some(old_s), Some(old_nodes)) = (r.old_s, r.old_nodes) {
                             fields.push(("old_s".into(), Json::Num(old_s)));
@@ -333,6 +341,11 @@ mod tests {
             assert!(row.get("new_s").unwrap().as_f64().is_some());
             assert!(row.get("nodes").unwrap().as_f64().is_some());
             assert_eq!(row.get("brute_ok").unwrap().as_bool(), Some(true));
+            // Cache traffic and sizes are emitted raw, not just as a
+            // rate: hits + misses and the circuit's byte footprint.
+            assert!(row.get("cache_hits").unwrap().as_f64().is_some());
+            assert!(row.get("cache_misses").unwrap().as_f64().unwrap() > 0.0);
+            assert!(row.get("circuit_bytes").unwrap().as_f64().unwrap() > 0.0);
         }
         assert!(rows[0].get("speedup").is_some(), "baseline rung carries a speedup");
     }

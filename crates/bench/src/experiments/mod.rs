@@ -5,11 +5,13 @@
 
 pub mod approx;
 pub mod compile;
+pub mod serve;
 
 pub use approx::{approx, approx_json, approx_rows, approx_rows_for, ApproxRow, SWEEP_SIZES};
 pub use compile::{
     compile_json, compile_report, compile_rows, CompileRow, COMPARE_SIZES, EXTENDED_SIZES,
 };
+pub use serve::{serve, serve_json, serve_rows_for, serve_summary, ServeRow, SERVE_SIZES};
 
 use std::fmt::Write as _;
 
@@ -574,7 +576,7 @@ pub fn fig9() -> String {
 }
 
 /// The threaded two-level pipeline, executed for real: a mixed
-/// SAT/PC/approx batch on the `reason-system`
+/// SAT/PC/approx/exact-WMC/serve batch on the `reason-system`
 /// [`BatchExecutor`](reason_system::BatchExecutor), serial vs overlapped
 /// vs multi-worker symbolic conquering, with the flow-shop cost model's
 /// prediction next to the measured wall clock (validates Sec. VI-C
@@ -590,7 +592,7 @@ pub fn pipeline(tasks: usize, workers: usize, seed: u64) -> String {
     let _ = writeln!(
         out,
         "-- determinism: {} real tasks (rotating cube-and-conquer SAT / PC marginal / approx WMC \
-         / exact WMC) --",
+         / exact WMC / shared-KB serve) --",
         tasks
     );
     let wide_workers = workers.max(1);

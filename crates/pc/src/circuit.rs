@@ -227,6 +227,21 @@ impl CircuitBuilder {
     pub(crate) fn into_parts(self) -> (Vec<usize>, Vec<PcNode>) {
         (self.arities, self.nodes)
     }
+
+    /// The nodes added so far — read access for in-crate compilers
+    /// that extract subgraphs (persistent component-cache fragments).
+    pub(crate) fn nodes(&self) -> &[PcNode] {
+        &self.nodes
+    }
+
+    /// Appends a pre-built node without linear↔log weight conversion —
+    /// for in-crate compilers splicing cached fragments whose
+    /// log-weights must survive bit-for-bit (an `exp`/`ln` round trip
+    /// can move the last ulp). The caller guarantees children precede
+    /// the node.
+    pub(crate) fn push_raw(&mut self, node: PcNode) -> NodeId {
+        self.push(node)
+    }
 }
 
 /// A validated probabilistic circuit.

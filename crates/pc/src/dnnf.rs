@@ -1,0 +1,425 @@
+//! Flat, evaluation-ready d-DNNF arenas extracted from compiled circuits.
+//!
+//! [`crate::compile::compile_cnf`] emits a [`Circuit`]: enum nodes with
+//! per-node child vectors, ideal for construction and structural
+//! validation but pointer-chasing for the serving hot path. A [`Dnnf`]
+//! is the same circuit flattened into arrays — one node table, one
+//! contiguous edge array, one parallel edge-weight array — so a
+//! repeated-query engine (the `reason-serve` circuit store) evaluates
+//! it with nothing but linear index arithmetic.
+//!
+//! Extraction is **1:1 and order-preserving**: node `i` of the arena is
+//! node `i` of the source circuit, children keep their order, and the
+//! evaluator reproduces [`Circuit::log_values_into`]'s arithmetic
+//! operation-for-operation. Arena answers are therefore bit-identical
+//! to circuit answers — the store's round-trip guarantee rests on this.
+//!
+//! Only *binary* universes are accepted (every compiled formula circuit
+//! is one); [`Dnnf::from_circuit`] reports [`DnnfError`] otherwise.
+//!
+//! ```
+//! use reason_sat::Cnf;
+//! use reason_pc::{compile_cnf, Dnnf, DnnfBuffer, Evidence, WmcWeights};
+//!
+//! let cnf = Cnf::from_clauses(2, vec![vec![1, 2]]);
+//! let circuit = compile_cnf(&cnf, &WmcWeights::uniform(2)).unwrap();
+//! let arena = Dnnf::from_circuit(&circuit).unwrap();
+//! let mut buf = DnnfBuffer::new();
+//! let z = arena.probability(&Evidence::empty(2), &mut buf);
+//! assert_eq!(z, circuit.probability(&Evidence::empty(2)));
+//! ```
+
+use std::fmt;
+
+use crate::circuit::{Circuit, PcNode};
+use crate::infer::{Evidence, MpeResult};
+
+/// Why a circuit could not be flattened into a [`Dnnf`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DnnfError {
+    /// A variable with arity other than 2 — the arena stores Bernoulli
+    /// leaves as fixed `[log p0, log p1]` pairs.
+    NonBinaryVariable {
+        /// The offending variable.
+        var: usize,
+        /// Its declared arity.
+        arity: usize,
+    },
+}
+
+impl fmt::Display for DnnfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DnnfError::NonBinaryVariable { var, arity } => {
+                write!(f, "variable {var} has arity {arity}, arena supports binary only")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DnnfError {}
+
+/// One flattened node. Interior nodes address a contiguous slice of the
+/// arena's edge array instead of owning a child vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Node {
+    /// Indicator leaf `[x_var = value]`.
+    Indicator { var: u32, value: bool },
+    /// Bernoulli leaf with `log_p[b] = log p(x_var = b)`.
+    Leaf { var: u32, log_p: [f64; 2] },
+    /// Decomposable conjunction over `edges[start..start+len]`.
+    And { start: u32, len: u32 },
+    /// Deterministic disjunction over `edges[start..start+len]`, with
+    /// log-weights in the parallel weight array.
+    Or { start: u32, len: u32 },
+}
+
+/// A compiled formula circuit flattened into an evaluation-ready arena
+/// (see the [module docs](self)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dnnf {
+    num_vars: usize,
+    nodes: Vec<Node>,
+    /// Child node ids of every interior node, concatenated.
+    edges: Vec<u32>,
+    /// Log-weights parallel to `edges`; meaningful for `Or` slices,
+    /// zero for `And` slices.
+    edge_log_weights: Vec<f64>,
+    root: u32,
+}
+
+/// Reusable scratch space for arena evaluation — the serving analogue
+/// of [`crate::infer::EvalBuffer`]. One buffer per worker thread makes
+/// every query after the first allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct DnnfBuffer {
+    vals: Vec<f64>,
+    arg: Vec<u32>,
+    stack: Vec<u32>,
+}
+
+impl DnnfBuffer {
+    /// An empty buffer; the first query sizes it.
+    pub fn new() -> Self {
+        DnnfBuffer::default()
+    }
+}
+
+impl Dnnf {
+    /// Flattens `circuit` into an arena, preserving node order and
+    /// child order exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnfError::NonBinaryVariable`] if any variable's arity
+    /// is not 2.
+    pub fn from_circuit(circuit: &Circuit) -> Result<Self, DnnfError> {
+        if let Some((var, &arity)) = circuit.arities().iter().enumerate().find(|(_, &a)| a != 2) {
+            return Err(DnnfError::NonBinaryVariable { var, arity });
+        }
+        let mut nodes = Vec::with_capacity(circuit.num_nodes());
+        let mut edges: Vec<u32> = Vec::with_capacity(circuit.num_edges());
+        let mut edge_log_weights: Vec<f64> = Vec::with_capacity(circuit.num_edges());
+        for node in circuit.nodes() {
+            let flat = match node {
+                PcNode::Indicator { var, value } => {
+                    Node::Indicator { var: *var as u32, value: *value == 1 }
+                }
+                PcNode::Categorical { var, log_probs } => {
+                    Node::Leaf { var: *var as u32, log_p: [log_probs[0], log_probs[1]] }
+                }
+                PcNode::Product { children } => {
+                    let start = edges.len() as u32;
+                    for c in children {
+                        edges.push(c.index() as u32);
+                        edge_log_weights.push(0.0);
+                    }
+                    Node::And { start, len: children.len() as u32 }
+                }
+                PcNode::Sum { children, log_weights } => {
+                    let start = edges.len() as u32;
+                    for (c, lw) in children.iter().zip(log_weights) {
+                        edges.push(c.index() as u32);
+                        edge_log_weights.push(*lw);
+                    }
+                    Node::Or { start, len: children.len() as u32 }
+                }
+            };
+            nodes.push(flat);
+        }
+        Ok(Dnnf {
+            num_vars: circuit.num_vars(),
+            nodes,
+            edges,
+            edge_log_weights,
+            root: circuit.root().index() as u32,
+        })
+    }
+
+    /// Number of variables in the universe.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of arena nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The arena's memory footprint in bytes: the node table plus the
+    /// edge and edge-weight arrays. This is what the serving store's
+    /// byte bound meters.
+    pub fn bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>()
+            + self.edges.len() * std::mem::size_of::<u32>()
+            + self.edge_log_weights.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Log-probability of the evidence: one linear sweep over the node
+    /// table, arithmetic identical to [`Circuit::log_values_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `evidence.len() != self.num_vars()`.
+    pub fn log_probability(&self, evidence: &Evidence, buf: &mut DnnfBuffer) -> f64 {
+        assert_eq!(evidence.len(), self.num_vars, "evidence arity mismatch");
+        buf.vals.clear();
+        buf.vals.resize(self.nodes.len(), 0.0);
+        let vals = &mut buf.vals;
+        for (i, node) in self.nodes.iter().enumerate() {
+            vals[i] = match *node {
+                Node::Indicator { var, value } => match evidence.value(var as usize) {
+                    Some(v) if (v == 1) == value => 0.0,
+                    Some(_) => f64::NEG_INFINITY,
+                    None => 0.0, // marginalized: Σ_v [v = value] = 1
+                },
+                Node::Leaf { var, log_p } => match evidence.value(var as usize) {
+                    Some(v) => log_p[v],
+                    None => 0.0, // distributions sum to 1
+                },
+                Node::And { start, len } => {
+                    let (s, e) = (start as usize, (start + len) as usize);
+                    self.edges[s..e].iter().map(|&c| vals[c as usize]).sum()
+                }
+                Node::Or { start, len } => {
+                    let (s, e) = (start as usize, (start + len) as usize);
+                    // Inline log-sum-exp, same two-pass numerics as the
+                    // circuit evaluator (bit-identical answers).
+                    let m = self.edges[s..e]
+                        .iter()
+                        .zip(&self.edge_log_weights[s..e])
+                        .map(|(&c, lw)| lw + vals[c as usize])
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    if m == f64::NEG_INFINITY {
+                        f64::NEG_INFINITY
+                    } else {
+                        let total: f64 = self.edges[s..e]
+                            .iter()
+                            .zip(&self.edge_log_weights[s..e])
+                            .map(|(&c, lw)| (lw + vals[c as usize] - m).exp())
+                            .sum();
+                        m + total.ln()
+                    }
+                }
+            };
+        }
+        vals[self.root as usize]
+    }
+
+    /// Probability of the evidence (linear space).
+    pub fn probability(&self, evidence: &Evidence, buf: &mut DnnfBuffer) -> f64 {
+        self.log_probability(evidence, buf).exp()
+    }
+
+    /// The marginal distribution of `var` given `evidence` (any setting
+    /// of `var` inside `evidence` is ignored), normalized; uniform when
+    /// the evidence itself has zero probability. Mirrors
+    /// [`Circuit::marginal_with`].
+    pub fn marginal(&self, evidence: &Evidence, var: usize, buf: &mut DnnfBuffer) -> Vec<f64> {
+        let mut ev = evidence.clone();
+        ev.clear(var);
+        let log_z = self.log_probability(&ev, buf);
+        if log_z == f64::NEG_INFINITY {
+            return vec![0.5; 2];
+        }
+        (0..2)
+            .map(|v| {
+                ev.set(var, v);
+                (self.log_probability(&ev, buf) - log_z).exp()
+            })
+            .collect()
+    }
+
+    /// Most probable explanation: completes `evidence` with the
+    /// max-product maximizing assignment. Exact for the deterministic
+    /// circuits the compiler emits; mirrors [`Circuit::mpe_with`].
+    pub fn mpe(&self, evidence: &Evidence, buf: &mut DnnfBuffer) -> MpeResult {
+        assert_eq!(evidence.len(), self.num_vars, "evidence arity mismatch");
+        let n = self.nodes.len();
+        buf.vals.clear();
+        buf.vals.resize(n, 0.0);
+        buf.arg.clear();
+        buf.arg.resize(n, 0);
+        let (vals, arg) = (&mut buf.vals, &mut buf.arg);
+        for (i, node) in self.nodes.iter().enumerate() {
+            match *node {
+                Node::Indicator { var, value } => {
+                    vals[i] = match evidence.value(var as usize) {
+                        Some(v) if (v == 1) == value => 0.0,
+                        Some(_) => f64::NEG_INFINITY,
+                        None => 0.0,
+                    };
+                }
+                Node::Leaf { var, log_p } => {
+                    vals[i] = match evidence.value(var as usize) {
+                        Some(v) => log_p[v],
+                        None => log_p[0].max(log_p[1]),
+                    };
+                }
+                Node::And { start, len } => {
+                    let (s, e) = (start as usize, (start + len) as usize);
+                    vals[i] = self.edges[s..e].iter().map(|&c| vals[c as usize]).sum();
+                }
+                Node::Or { start, len } => {
+                    let (s, e) = (start as usize, (start + len) as usize);
+                    let (best, best_val) = self.edges[s..e]
+                        .iter()
+                        .zip(&self.edge_log_weights[s..e])
+                        .enumerate()
+                        .map(|(k, (&c, lw))| (k, lw + vals[c as usize]))
+                        .fold((0, f64::NEG_INFINITY), |acc, x| if x.1 > acc.1 { x } else { acc });
+                    vals[i] = best_val;
+                    arg[i] = best as u32;
+                }
+            }
+        }
+        // Downward trace selecting one child per disjunction.
+        let mut assignment: Vec<usize> =
+            (0..self.num_vars).map(|v| evidence.value(v).unwrap_or(0)).collect();
+        let stack = &mut buf.stack;
+        stack.clear();
+        stack.push(self.root);
+        while let Some(id) = stack.pop() {
+            match self.nodes[id as usize] {
+                Node::Indicator { var, value } => {
+                    if evidence.value(var as usize).is_none() {
+                        assignment[var as usize] = usize::from(value);
+                    }
+                }
+                Node::Leaf { var, log_p } => {
+                    if evidence.value(var as usize).is_none() {
+                        assignment[var as usize] = usize::from(log_p[1] > log_p[0]);
+                    }
+                }
+                Node::And { start, len } => {
+                    let (s, e) = (start as usize, (start + len) as usize);
+                    stack.extend(self.edges[s..e].iter().copied());
+                }
+                Node::Or { start, .. } => {
+                    stack.push(self.edges[(start + arg[id as usize]) as usize]);
+                }
+            }
+        }
+        MpeResult { assignment, log_prob: vals[self.root as usize] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitBuilder;
+    use crate::compile::{compile_cnf, WmcWeights};
+    use crate::infer::EvalBuffer;
+    use reason_sat::gen::random_ksat;
+
+    fn compiled(seed: u64, n: usize, m: usize) -> Option<(Circuit, Dnnf)> {
+        let cnf = random_ksat(n, m, 3, seed);
+        let weights = WmcWeights::new((0..n).map(|v| 0.3 + 0.05 * (v % 7) as f64).collect());
+        let circuit = compile_cnf(&cnf, &weights)?;
+        let arena = Dnnf::from_circuit(&circuit).unwrap();
+        Some((circuit, arena))
+    }
+
+    #[test]
+    fn arena_matches_circuit_bit_for_bit() {
+        let mut checked = 0;
+        for seed in 0..12 {
+            let Some((circuit, arena)) = compiled(seed, 10, 26) else { continue };
+            let mut cbuf = EvalBuffer::new();
+            let mut abuf = DnnfBuffer::new();
+            // Full marginalization, full assignments, partial evidence.
+            let mut evidences = vec![Evidence::empty(10)];
+            for bits in [0u32, 7, 99, 1023] {
+                let values: Vec<usize> = (0..10).map(|v| (bits >> v & 1) as usize).collect();
+                evidences.push(Evidence::from_assignment(&values));
+            }
+            let mut partial = Evidence::empty(10);
+            partial.set(0, 1).set(3, 0).set(7, 1);
+            evidences.push(partial);
+            for ev in &evidences {
+                let c = circuit.log_probability_with(ev, &mut cbuf);
+                let a = arena.log_probability(ev, &mut abuf);
+                assert!(
+                    c == a || (c.is_nan() && a.is_nan()),
+                    "seed {seed}: circuit {c} vs arena {a}"
+                );
+            }
+            checked += 1;
+        }
+        assert!(checked > 0, "at least one satisfiable instance must be checked");
+    }
+
+    #[test]
+    fn marginal_and_mpe_match_circuit() {
+        let (circuit, arena) = compiled(3, 9, 22).expect("seed 3 is satisfiable");
+        let mut cbuf = EvalBuffer::new();
+        let mut abuf = DnnfBuffer::new();
+        let mut ev = Evidence::empty(9);
+        ev.set(2, 1);
+        for var in [0, 4, 8] {
+            assert_eq!(
+                circuit.marginal_with(&ev, var, &mut cbuf),
+                arena.marginal(&ev, var, &mut abuf)
+            );
+        }
+        let cm = circuit.mpe_with(&ev, &mut cbuf);
+        let am = arena.mpe(&ev, &mut abuf);
+        assert_eq!(cm.assignment, am.assignment);
+        assert_eq!(cm.log_prob, am.log_prob);
+    }
+
+    #[test]
+    fn sizes_and_bytes_track_the_source_circuit() {
+        let (circuit, arena) = compiled(1, 8, 20).expect("seed 1 is satisfiable");
+        assert_eq!(arena.num_nodes(), circuit.num_nodes());
+        assert_eq!(arena.num_edges(), circuit.num_edges());
+        assert_eq!(arena.num_vars(), 8);
+        assert!(arena.bytes() > 0);
+    }
+
+    #[test]
+    fn rejects_non_binary_universes() {
+        let mut b = CircuitBuilder::new(vec![3]);
+        let leaf = b.categorical(0, &[0.2, 0.3, 0.5]);
+        let c = b.build(leaf).unwrap();
+        assert_eq!(Dnnf::from_circuit(&c), Err(DnnfError::NonBinaryVariable { var: 0, arity: 3 }));
+    }
+
+    #[test]
+    fn buffer_reuse_is_stable_across_queries() {
+        let (_, arena) = compiled(5, 8, 20).expect("seed 5 is satisfiable");
+        let mut buf = DnnfBuffer::new();
+        let empty = Evidence::empty(8);
+        let first = arena.probability(&empty, &mut buf);
+        let mut ev = Evidence::empty(8);
+        ev.set(1, 0);
+        let _ = arena.probability(&ev, &mut buf);
+        let again = arena.probability(&empty, &mut buf);
+        assert_eq!(first, again, "a reused buffer must not leak state between queries");
+    }
+}

@@ -24,7 +24,11 @@
 //!   connected-component decomposition, dynamic variable ordering, and
 //!   hashed component fingerprints over `reason_sat`'s shared clause
 //!   pool. [`CompiledWmc`] answers repeated queries from one
-//!   compilation.
+//!   compilation, and [`PersistentComponentCache`] carries compiled
+//!   components *across* compilations for serving knowledge bases.
+//! * [`dnnf`] — compiled circuits flattened into evaluation-ready
+//!   d-DNNF arenas ([`Dnnf`]), the artifact a serving circuit store
+//!   keeps hot; answers are bit-identical to circuit evaluation.
 //! * [`structure`] — seeded structure generators (mixture-of-factorization
 //!   region trees) for workload synthesis.
 //! * [`mod@sample`] — forward sampling.
@@ -55,6 +59,7 @@
 
 pub mod circuit;
 pub mod compile;
+pub mod dnnf;
 pub mod flows;
 pub mod infer;
 pub mod prune;
@@ -63,9 +68,11 @@ pub mod structure;
 
 pub use circuit::{Circuit, CircuitBuilder, CircuitError, NodeId, PcNode};
 pub use compile::{
-    compile_cnf, compile_cnf_shannon, compile_cnf_with, compile_cnf_with_stats,
-    weighted_model_count, CompileConfig, CompileStats, CompiledWmc, VarOrder, WmcWeights,
+    compile_cnf, compile_cnf_cached, compile_cnf_shannon, compile_cnf_with, compile_cnf_with_stats,
+    weighted_model_count, CompileConfig, CompileStats, CompiledWmc, PersistentCacheStats,
+    PersistentComponentCache, VarOrder, WmcWeights,
 };
+pub use dnnf::{Dnnf, DnnfBuffer, DnnfError};
 pub use flows::{dataset_flows, em_step, EdgeFlows};
 pub use infer::{EvalBuffer, Evidence, MpeResult};
 pub use prune::{prune_by_flow, PruneReport};

@@ -1,0 +1,894 @@
+//! The serving engine: registered knowledge bases, the compiled-circuit
+//! store, and routed batch execution.
+//!
+//! [`ServeEngine`] is the layer `reason-eval serve` drives: register a
+//! knowledge base once ([`ServeEngine::register`]), then throw batches
+//! of [`Query`]s at it. The first query pays one compilation; every
+//! later query is answered from the [`CircuitStore`]'s hot artifact —
+//! the d-DNNF arena for the single-query fast path
+//! ([`ServeEngine::query`]), a shared [`CompiledWmc`] oracle behind an
+//! `Arc` for the batch path ([`ServeEngine::serve`]), which executes
+//! through `reason_system::BatchExecutor` so serving inherits the
+//! threaded lanes.
+//!
+//! Each batch query is admitted by the [`QueryRouter`]: exact compiled
+//! evaluation when the deadline allows, anytime Monte-Carlo bounds with
+//! a deadline-trimmed budget when it does not, one prediction-network
+//! forward pass when nothing else fits. Telemetry (measured compile,
+//! eval, and per-sample latencies) feeds back into the router after
+//! every batch, so routing adapts to the hardware it runs on.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use reason_approx::{ApproxConfig, Method, PredictConfig, PredictionNet, SampleConfig};
+use reason_neural::Mlp;
+use reason_pc::{CompileStats, CompiledWmc, Dnnf, DnnfBuffer, Evidence, WmcWeights};
+use reason_sat::Cnf;
+use reason_system::{
+    BatchExecutor, BatchTask, ExecutorConfig, NeuralStage, PipelineReport, ServeQuery,
+    SymbolicStage, TaskResult, Verdict,
+};
+
+use crate::kb::KnowledgeBase;
+use crate::router::{KbTelemetry, Query, QueryKind, QueryRouter, Route, RouterConfig, RouterStats};
+use crate::store::{CacheStats, CircuitStore, StoreConfig, StoredCircuit};
+
+/// Engine-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Circuit-store bounds.
+    pub store: StoreConfig,
+    /// Router knobs.
+    pub router: RouterConfig,
+    /// Worker-pool shape batches execute with.
+    pub executor: ExecutorConfig,
+    /// When set, each knowledge base trains a prediction network on
+    /// its first compilation (amortized: labels come from the already
+    /// compiled circuit), enabling the router's last-resort rung.
+    pub predictor: Option<PredictConfig>,
+    /// Seed for the approximate rung's estimators (per-query streams
+    /// are derived from it, so batches are reproducible).
+    pub approx_seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            store: StoreConfig::default(),
+            router: RouterConfig::default(),
+            executor: ExecutorConfig::overlapped(2),
+            predictor: None,
+            approx_seed: 0x5EED,
+        }
+    }
+}
+
+/// Handle to a registered knowledge base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KbId(usize);
+
+/// Serving failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The knowledge base carries no satisfying mass under its weights
+    /// — there is nothing to serve.
+    NoMass(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::NoMass(name) => {
+                write!(f, "knowledge base `{name}` has no satisfying mass")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// The value a served query produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Answer {
+    /// An exact probability / weighted model count.
+    Exact(f64),
+    /// An anytime bracket from the approximate rung.
+    Bounds {
+        /// Point estimate.
+        estimate: f64,
+        /// Lower confidence bound.
+        lower: f64,
+        /// Upper confidence bound.
+        upper: f64,
+    },
+    /// A prediction-network point estimate (no bounds).
+    Predicted(f64),
+    /// A marginal distribution (exact rung only).
+    Distribution(Vec<f64>),
+    /// A most-probable-explanation assignment (exact rung only).
+    Assignment {
+        /// The maximizing complete assignment.
+        assignment: Vec<usize>,
+        /// Its max-product log-probability.
+        log_prob: f64,
+    },
+}
+
+/// One served query: where it was routed, what came back, what it cost.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// The router's decision.
+    pub route: Route,
+    /// The answer.
+    pub answer: Answer,
+    /// Measured end-to-end seconds for this query's executor task(s).
+    pub latency_s: f64,
+}
+
+/// The result of one [`ServeEngine::serve`] batch.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Per-query outcomes, in submission order.
+    pub outcomes: Vec<ServeOutcome>,
+    /// The executor's measured schedule for the batch.
+    pub measured: PipelineReport,
+}
+
+/// How one query maps onto executor tasks.
+enum Plan {
+    /// Exact or plain-approximate: one task, answer from its verdict.
+    Single { task: usize, route: Route },
+    /// Approximate posterior with no trusted normalizer: a joint-mass
+    /// task plus a base-mass task, combined conservatively.
+    ApproxPair { joint: usize, base: usize, route: Route },
+    /// Approximate posterior normalized by the last compiled `Z`.
+    ApproxOverZ { joint: usize, z: f64, route: Route },
+    /// Prediction-network forward pass: answer from the neural buffer.
+    Predicted {
+        task: usize,
+        /// Prior mass of the evidence (for joint/posterior conversion).
+        prior: f64,
+        /// The trusted normalizer from training time.
+        z: f64,
+        kind_is_posterior: bool,
+        kind_is_probability: bool,
+    },
+}
+
+struct KbEntry {
+    kb: KnowledgeBase,
+    /// The shared exact oracle, rebuilt per revision.
+    oracle: Option<Arc<CompiledWmc>>,
+    oracle_revision: u64,
+    /// Frozen prediction net plus the `Z` and revision it was trained
+    /// against.
+    predictor: Option<(Mlp, f64, u64)>,
+    telemetry: KbTelemetry,
+    /// Last compile's counters (persistent-cache reuse shows up here).
+    last_stats: CompileStats,
+    /// Last measured compile seconds (0 before the first compile).
+    last_compile_s: f64,
+    /// `Z` and the revision it was computed at.
+    z: f64,
+    z_revision: Option<u64>,
+}
+
+/// The knowledge-base serving engine (see the [module docs](self)).
+pub struct ServeEngine {
+    config: ServeConfig,
+    store: CircuitStore,
+    router: QueryRouter,
+    kbs: Vec<KbEntry>,
+    buf: DnnfBuffer,
+    served: u64,
+}
+
+impl ServeEngine {
+    /// An engine with the given configuration.
+    pub fn new(config: ServeConfig) -> Self {
+        ServeEngine {
+            config,
+            store: CircuitStore::new(config.store),
+            router: QueryRouter::new(config.router),
+            kbs: Vec::new(),
+            buf: DnnfBuffer::new(),
+            served: 0,
+        }
+    }
+
+    /// Registers a knowledge base. Registration is cheap — compilation
+    /// happens on the first query that needs the exact artifact (or
+    /// eagerly via [`warm`](Self::warm)).
+    pub fn register(&mut self, name: impl Into<String>, cnf: &Cnf, weights: WmcWeights) -> KbId {
+        let kb = KnowledgeBase::new(name, cnf, weights);
+        let telemetry = KbTelemetry::prior(kb.num_vars(), kb.num_clauses());
+        self.kbs.push(KbEntry {
+            kb,
+            oracle: None,
+            oracle_revision: 0,
+            predictor: None,
+            telemetry,
+            last_stats: CompileStats::default(),
+            last_compile_s: 0.0,
+            z: 0.0,
+            z_revision: None,
+        });
+        KbId(self.kbs.len() - 1)
+    }
+
+    /// The registered knowledge base.
+    pub fn kb(&self, id: KbId) -> &KnowledgeBase {
+        &self.kbs[id.0].kb
+    }
+
+    /// The knowledge base's live routing telemetry.
+    pub fn telemetry(&self, id: KbId) -> KbTelemetry {
+        self.kbs[id.0].telemetry
+    }
+
+    /// The last compile's counters (persistent-component-cache reuse
+    /// shows up as `persistent_hits`).
+    pub fn last_compile_stats(&self, id: KbId) -> CompileStats {
+        self.kbs[id.0].last_stats
+    }
+
+    /// The last measured compile seconds (0 before the first compile).
+    pub fn last_compile_s(&self, id: KbId) -> f64 {
+        self.kbs[id.0].last_compile_s
+    }
+
+    /// The circuit store's counters and occupancy.
+    pub fn store_stats(&self) -> CacheStats {
+        self.store.stats()
+    }
+
+    /// The router's admission counters.
+    pub fn router_stats(&self) -> RouterStats {
+        self.router.stats()
+    }
+
+    /// Appends a clause to a knowledge base. The compiled artifact goes
+    /// stale (new fingerprint); the next compile reuses every cached
+    /// component the clause does not touch.
+    pub fn add_clause(&mut self, id: KbId, dimacs: &[i32]) {
+        let entry = &mut self.kbs[id.0];
+        entry.kb.add_clause(dimacs);
+        entry.oracle = None;
+        entry.telemetry.compiled = false;
+        // The net was trained on the previous formula; retrain on the
+        // next compile rather than serve stale predictions.
+        entry.telemetry.has_predictor = false;
+    }
+
+    /// Retracts a clause (see [`KnowledgeBase::retract_clause`]).
+    pub fn retract_clause(&mut self, id: KbId, index: usize) {
+        let entry = &mut self.kbs[id.0];
+        entry.kb.retract_clause(index);
+        entry.oracle = None;
+        entry.telemetry.compiled = false;
+        entry.telemetry.has_predictor = false;
+    }
+
+    /// Eagerly compiles (or rehydrates) the knowledge base's artifact.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoMass`] when the formula has no satisfying mass.
+    pub fn warm(&mut self, id: KbId) -> Result<(), ServeError> {
+        self.ensure_compiled(id)
+    }
+
+    /// Answers one query on the store's d-DNNF arena — the single-query
+    /// fast path (no executor round-trip). Compiles on first use.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoMass`] when the formula has no satisfying mass.
+    pub fn query(&mut self, id: KbId, kind: &QueryKind) -> Result<Answer, ServeError> {
+        self.ensure_compiled(id)?;
+        let fp = self.kbs[id.0].kb.fingerprint();
+        // ensure_compiled already paid the counted lookup.
+        let stored = self.store.peek(&fp).expect("ensure_compiled keeps the artifact hot");
+        let buf = &mut self.buf;
+        let t0 = Instant::now();
+        let answer = match kind {
+            QueryKind::Wmc => Answer::Exact(stored.dnnf.probability(&empty(stored), buf)),
+            QueryKind::Probability(ev) => Answer::Exact(stored.dnnf.probability(ev, buf)),
+            QueryKind::Posterior(ev) => Answer::Exact(stored.dnnf.probability(ev, buf) / stored.z),
+            QueryKind::Marginal(ev, var) => {
+                Answer::Distribution(stored.dnnf.marginal(ev, *var, buf))
+            }
+            QueryKind::Mpe(ev) => {
+                let res = stored.dnnf.mpe(ev, buf);
+                Answer::Assignment { assignment: res.assignment, log_prob: res.log_prob }
+            }
+        };
+        let dt = t0.elapsed().as_secs_f64();
+        let entry = &mut self.kbs[id.0];
+        entry.telemetry.eval_s = ewma(entry.telemetry.eval_s, dt / kind.exact_evals());
+        self.served += 1;
+        Ok(answer)
+    }
+
+    /// Serves a batch: routes every query, executes the admitted tasks
+    /// through the threaded `BatchExecutor` (exact queries share one
+    /// `Arc<CompiledWmc>` across the symbolic workers), and feeds the
+    /// measured latencies back into the router's telemetry.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoMass`] when an exact-routed query forces a
+    /// compilation and the formula has no satisfying mass.
+    pub fn serve(&mut self, id: KbId, queries: &[Query]) -> Result<ServeReport, ServeError> {
+        // Refresh the hotness bit from ground truth before routing: the
+        // artifact may have been evicted by another KB's traffic since
+        // the last serve, and the router must charge the rebuild.
+        {
+            let entry = &mut self.kbs[id.0];
+            let fresh = entry.oracle.is_some() && entry.oracle_revision == entry.kb.revision();
+            entry.telemetry.compiled = fresh && self.store.contains(&entry.kb.fingerprint());
+        }
+        let routes: Vec<Route> = {
+            let telemetry = self.kbs[id.0].telemetry;
+            queries.iter().map(|q| self.router.route(q, &telemetry)).collect()
+        };
+        if routes.iter().any(|r| matches!(r, Route::Exact)) {
+            self.ensure_compiled(id)?;
+        }
+
+        let entry = &self.kbs[id.0];
+        let base_cnf = entry.kb.cnf();
+        let probs: Vec<f64> =
+            (0..entry.kb.num_vars()).map(|v| entry.kb.weights().prob(v)).collect();
+        let z_trusted = (entry.z_revision == Some(entry.kb.revision())).then_some(entry.z);
+
+        let mut tasks: Vec<BatchTask> = Vec::new();
+        let mut plans: Vec<Plan> = Vec::with_capacity(queries.len());
+        for (qi, (query, route)) in queries.iter().zip(&routes).enumerate() {
+            let seed = self.config.approx_seed ^ (self.served << 20) ^ qi as u64;
+            match route {
+                Route::Exact => {
+                    let oracle =
+                        Arc::clone(entry.oracle.as_ref().expect("exact routes are compiled"));
+                    let task = push_task(
+                        &mut tasks,
+                        qi,
+                        SymbolicStage::Serve { oracle, query: to_serve_query(&query.kind) },
+                    );
+                    plans.push(Plan::Single { task, route: *route });
+                }
+                Route::Approx { samples } => {
+                    let stage = |cnf: Cnf, samples: u64, seed: u64| SymbolicStage::Approx {
+                        cnf,
+                        probs: probs.clone(),
+                        config: approx_config(samples, seed),
+                    };
+                    match &query.kind {
+                        QueryKind::Wmc => {
+                            let task =
+                                push_task(&mut tasks, qi, stage(base_cnf.clone(), *samples, seed));
+                            plans.push(Plan::Single { task, route: *route });
+                        }
+                        QueryKind::Probability(ev) => {
+                            let task = push_task(
+                                &mut tasks,
+                                qi,
+                                stage(conjoin(&base_cnf, ev), *samples, seed),
+                            );
+                            plans.push(Plan::Single { task, route: *route });
+                        }
+                        QueryKind::Posterior(ev) => match z_trusted {
+                            Some(z) => {
+                                let joint = push_task(
+                                    &mut tasks,
+                                    qi,
+                                    stage(conjoin(&base_cnf, ev), *samples, seed),
+                                );
+                                plans.push(Plan::ApproxOverZ { joint, z, route: *route });
+                            }
+                            None => {
+                                // No trusted normalizer: the budget the
+                                // router fitted to the deadline is split
+                                // across the joint and base estimates so
+                                // the pair still lands inside it.
+                                let half = (*samples / 2).max(1);
+                                let joint = push_task(
+                                    &mut tasks,
+                                    qi,
+                                    stage(conjoin(&base_cnf, ev), half, seed),
+                                );
+                                let base = push_task(
+                                    &mut tasks,
+                                    qi,
+                                    stage(base_cnf.clone(), half, seed ^ 0xBA5E),
+                                );
+                                plans.push(Plan::ApproxPair { joint, base, route: *route });
+                            }
+                        },
+                        // The router never degrades these kinds.
+                        QueryKind::Marginal(..) | QueryKind::Mpe(..) => {
+                            unreachable!("router keeps distribution queries exact")
+                        }
+                    }
+                }
+                Route::Predicted => {
+                    let (mlp, z, _) =
+                        entry.predictor.as_ref().expect("predicted routes have a trained net");
+                    let (evidence, is_posterior, is_probability) = match &query.kind {
+                        QueryKind::Wmc => (Evidence::empty(entry.kb.num_vars()), false, false),
+                        QueryKind::Probability(ev) => (ev.clone(), false, true),
+                        QueryKind::Posterior(ev) => (ev.clone(), true, false),
+                        QueryKind::Marginal(..) | QueryKind::Mpe(..) => {
+                            unreachable!("router keeps distribution queries exact")
+                        }
+                    };
+                    let options: Vec<Option<bool>> = (0..entry.kb.num_vars())
+                        .map(|v| evidence.value(v).map(|x| x == 1))
+                        .collect();
+                    let input = PredictionNet::encode_query(&options, entry.kb.num_vars());
+                    let prior = prior_mass(entry.kb.weights(), &evidence);
+                    let task_idx = tasks.len();
+                    tasks.push(BatchTask {
+                        name: format!("query-{qi}"),
+                        neural: NeuralStage::Mlp { mlp: mlp.clone(), input },
+                        symbolic: SymbolicStage::Synthetic { duration: Duration::ZERO },
+                    });
+                    plans.push(Plan::Predicted {
+                        task: task_idx,
+                        prior,
+                        z: *z,
+                        kind_is_posterior: is_posterior,
+                        kind_is_probability: is_probability,
+                    });
+                }
+            }
+        }
+
+        let report = BatchExecutor::new(self.config.executor).run(&tasks);
+        self.served += queries.len() as u64;
+
+        // Feed measured latencies back into the telemetry.
+        {
+            let entry = &mut self.kbs[id.0];
+            for (plan, query) in plans.iter().zip(queries) {
+                match plan {
+                    Plan::Single { task, route: Route::Exact } => {
+                        let dt = report.results[*task].symbolic_s;
+                        entry.telemetry.eval_s =
+                            ewma(entry.telemetry.eval_s, dt / query.kind.exact_evals());
+                    }
+                    Plan::Single { task, route: Route::Approx { samples } }
+                    | Plan::ApproxOverZ { joint: task, route: Route::Approx { samples }, .. } => {
+                        let dt = report.results[*task].symbolic_s;
+                        entry.telemetry.sample_s =
+                            ewma(entry.telemetry.sample_s, dt / *samples as f64);
+                    }
+                    Plan::ApproxPair { joint, route: Route::Approx { samples }, .. } => {
+                        // Each half of the pair ran samples / 2.
+                        let dt = report.results[*joint].symbolic_s;
+                        let ran = (*samples / 2).max(1);
+                        entry.telemetry.sample_s = ewma(entry.telemetry.sample_s, dt / ran as f64);
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        let outcomes = plans.iter().map(|plan| outcome(plan, &report.results)).collect();
+        Ok(ServeReport { outcomes, measured: report.measured })
+    }
+
+    /// Guarantees the artifact is compiled, hot in the store, and
+    /// wrapped in a shareable oracle; measures compile and warm-eval
+    /// latency into the telemetry; trains the prediction net on first
+    /// compile when configured.
+    fn ensure_compiled(&mut self, id: KbId) -> Result<(), ServeError> {
+        let entry = &mut self.kbs[id.0];
+        let revision = entry.kb.revision();
+        let fp = entry.kb.fingerprint();
+        let oracle_fresh = entry.oracle.is_some() && entry.oracle_revision == revision;
+        // One counted lookup: serving traffic registers as store hits
+        // and refreshes the artifact's LRU recency, so a hot KB is
+        // never the eviction victim of its own traffic.
+        let hot = self.store.get(&fp).is_some();
+        if oracle_fresh && hot {
+            return Ok(());
+        }
+        if let Some(stored) = self.store.peek(&fp) {
+            // Rehydrate the oracle from the stored artifact.
+            entry.z = stored.z;
+            entry.last_stats = stored.stats;
+            entry.last_compile_s = stored.compile_s;
+            entry.oracle = Some(Arc::new(CompiledWmc::from_circuit(
+                Some(stored.circuit.clone()),
+                stored.dnnf.num_vars(),
+            )));
+        } else if oracle_fresh {
+            // Evicted while the shared oracle still holds the current
+            // revision's circuit: rebuild the store artifact from it —
+            // a linear flattening, not a recompile.
+            let circuit = entry
+                .oracle
+                .as_ref()
+                .and_then(|o| o.circuit().cloned())
+                .expect("fresh oracles of served KBs carry a circuit");
+            let dnnf = Dnnf::from_circuit(&circuit).expect("compiled circuits are binary");
+            let z = entry.z;
+            let (compile_s, stats) = (entry.last_compile_s, entry.last_stats);
+            self.store.insert(fp, StoredCircuit { dnnf, circuit, z, compile_s, stats });
+        } else {
+            let t0 = Instant::now();
+            let (circuit, stats) = entry.kb.compile();
+            let compile_s = t0.elapsed().as_secs_f64();
+            let Some(circuit) = circuit else {
+                return Err(ServeError::NoMass(entry.kb.name().to_string()));
+            };
+            let dnnf = Dnnf::from_circuit(&circuit).expect("compiled circuits are binary");
+            let z = dnnf.probability(&Evidence::empty(entry.kb.num_vars()), &mut DnnfBuffer::new());
+            entry.z = z;
+            entry.last_stats = stats;
+            entry.last_compile_s = compile_s;
+            entry.telemetry.compile_s = compile_s.max(1e-9);
+            entry.oracle = Some(Arc::new(CompiledWmc::from_circuit(
+                Some(circuit.clone()),
+                entry.kb.num_vars(),
+            )));
+            self.store.insert(fp, StoredCircuit { dnnf, circuit, z, compile_s, stats });
+        }
+        let entry = &mut self.kbs[id.0];
+        entry.oracle_revision = revision;
+        entry.z_revision = Some(revision);
+        entry.telemetry.compiled = true;
+        // Warm-eval measurement: two evaluations, keep the faster.
+        let oracle = entry.oracle.as_ref().expect("just built");
+        let empty_ev = Evidence::empty(entry.kb.num_vars());
+        let mut ebuf = reason_pc::EvalBuffer::new();
+        let mut best = f64::INFINITY;
+        for _ in 0..2 {
+            let t0 = Instant::now();
+            let _ = oracle.probability_with(&empty_ev, &mut ebuf);
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        entry.telemetry.eval_s = best.max(1e-9);
+        // Train the prediction net once per revision, when configured.
+        let needs_net = self.config.predictor.is_some()
+            && entry.predictor.as_ref().is_none_or(|(_, _, rev)| *rev != revision);
+        if needs_net {
+            let cfg = self.config.predictor.expect("checked above");
+            let circuit = entry.oracle.as_ref().and_then(|o| o.circuit().cloned());
+            if let Some(circuit) = circuit {
+                let (net, _loss) =
+                    PredictionNet::train_from_circuit(&circuit, entry.kb.weights(), &cfg);
+                entry.predictor = Some((net.to_mlp(), entry.z, revision));
+                entry.telemetry.has_predictor = true;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds one query's [`ServeOutcome`] from its executed task(s).
+fn outcome(plan: &Plan, results: &[TaskResult]) -> ServeOutcome {
+    match plan {
+        Plan::Single { task, route } => {
+            let r = &results[*task];
+            let answer = match (&r.verdict, route) {
+                (Verdict::Wmc { estimate, .. }, Route::Exact) => Answer::Exact(*estimate),
+                (Verdict::Wmc { estimate, lower, upper }, _) => {
+                    Answer::Bounds { estimate: *estimate, lower: *lower, upper: *upper }
+                }
+                (Verdict::Distribution(d), _) => Answer::Distribution(d.clone()),
+                (Verdict::Assignment { assignment, log_prob }, _) => {
+                    Answer::Assignment { assignment: assignment.clone(), log_prob: *log_prob }
+                }
+                (other, _) => unreachable!("serve lanes produce WMC-family verdicts: {other:?}"),
+            };
+            ServeOutcome { route: *route, answer, latency_s: r.neural_s + r.symbolic_s }
+        }
+        Plan::ApproxOverZ { joint, z, route } => {
+            let r = &results[*joint];
+            let Verdict::Wmc { estimate, lower, upper } = &r.verdict else {
+                unreachable!("approx lanes produce WMC verdicts");
+            };
+            ServeOutcome {
+                route: *route,
+                answer: Answer::Bounds {
+                    estimate: (estimate / z).clamp(0.0, 1.0),
+                    lower: (lower / z).clamp(0.0, 1.0),
+                    upper: (upper / z).clamp(0.0, 1.0),
+                },
+                latency_s: r.neural_s + r.symbolic_s,
+            }
+        }
+        Plan::ApproxPair { joint, base, route } => {
+            let (rj, rb) = (&results[*joint], &results[*base]);
+            let (
+                Verdict::Wmc { estimate: ej, lower: lj, upper: uj },
+                Verdict::Wmc { estimate: eb, lower: lb, upper: ub },
+            ) = (&rj.verdict, &rb.verdict)
+            else {
+                unreachable!("approx lanes produce WMC verdicts");
+            };
+            // Conservative interval division: joint / base.
+            let estimate = if *eb > 0.0 { (ej / eb).clamp(0.0, 1.0) } else { 0.0 };
+            let lower = if *ub > 0.0 { (lj / ub).clamp(0.0, 1.0) } else { 0.0 };
+            let upper = if *lb > 0.0 { (uj / lb).clamp(0.0, 1.0) } else { 1.0 };
+            ServeOutcome {
+                route: *route,
+                answer: Answer::Bounds { estimate, lower, upper },
+                latency_s: rj.neural_s + rj.symbolic_s + rb.neural_s + rb.symbolic_s,
+            }
+        }
+        Plan::Predicted { task, prior, z, kind_is_posterior, kind_is_probability } => {
+            let r = &results[*task];
+            // The sigmoid head's single output is Pr[φ | e].
+            let conditional = r.neural_output[0].clamp(0.0, 1.0);
+            let value = if *kind_is_posterior {
+                // Pr[e | φ] = Pr[φ | e] · Pr[e] / Pr[φ].
+                if *z > 0.0 {
+                    (conditional * prior / z).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                }
+            } else if *kind_is_probability {
+                // Pr[φ ∧ e] = Pr[φ | e] · Pr[e].
+                conditional * prior
+            } else {
+                conditional // Pr[φ | ∅] = Pr[φ]
+            };
+            ServeOutcome {
+                route: Route::Predicted,
+                answer: Answer::Predicted(value),
+                latency_s: r.neural_s + r.symbolic_s,
+            }
+        }
+    }
+}
+
+/// EWMA with a 0.3 step — fast enough to track warm-up, smooth enough
+/// to ignore scheduler noise.
+fn ewma(old: f64, new: f64) -> f64 {
+    0.7 * old + 0.3 * new.max(1e-9)
+}
+
+fn empty(stored: &StoredCircuit) -> Evidence {
+    Evidence::empty(stored.dnnf.num_vars())
+}
+
+fn push_task(tasks: &mut Vec<BatchTask>, qi: usize, symbolic: SymbolicStage) -> usize {
+    tasks.push(BatchTask {
+        name: format!("query-{qi}"),
+        neural: NeuralStage::Synthetic { duration: Duration::ZERO },
+        symbolic,
+    });
+    tasks.len() - 1
+}
+
+fn to_serve_query(kind: &QueryKind) -> ServeQuery {
+    match kind {
+        QueryKind::Wmc => ServeQuery::Wmc,
+        QueryKind::Probability(ev) => ServeQuery::Probability(ev.clone()),
+        QueryKind::Posterior(ev) => ServeQuery::Posterior(ev.clone()),
+        QueryKind::Marginal(ev, var) => ServeQuery::Marginal(ev.clone(), *var),
+        QueryKind::Mpe(ev) => ServeQuery::Mpe(ev.clone()),
+    }
+}
+
+/// Direct Monte-Carlo with the deadline-fitted budget: cost is linear
+/// in the budget, which is exactly what the router's cost model
+/// assumes.
+fn approx_config(samples: u64, seed: u64) -> ApproxConfig {
+    ApproxConfig {
+        method: Method::MonteCarlo,
+        sampling: SampleConfig { samples, checkpoint: (samples / 8).max(1), seed },
+        ..ApproxConfig::default()
+    }
+}
+
+/// Conjoins partial evidence onto a formula as unit clauses, so
+/// `Pr[φ ∧ e]` becomes a plain WMC over the extended formula.
+fn conjoin(cnf: &Cnf, evidence: &Evidence) -> Cnf {
+    let mut out = cnf.clone();
+    for v in 0..evidence.len() {
+        if let Some(value) = evidence.value(v) {
+            let dimacs = if value == 1 { v as i32 + 1 } else { -(v as i32 + 1) };
+            out.add_dimacs_clause(&[dimacs]);
+        }
+    }
+    out
+}
+
+/// The prior mass `Pr[e]` of partial evidence under independent
+/// per-variable marginals.
+fn prior_mass(weights: &WmcWeights, evidence: &Evidence) -> f64 {
+    (0..weights.len())
+        .map(|v| match evidence.value(v) {
+            Some(1) => weights.prob(v),
+            Some(_) => 1.0 - weights.prob(v),
+            None => 1.0,
+        })
+        .product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reason_pc::weighted_model_count;
+    use reason_sat::gen::random_ksat;
+
+    fn engine() -> ServeEngine {
+        ServeEngine::new(ServeConfig::default())
+    }
+
+    fn sat_instance(n: usize, m: usize, seed: u64) -> (Cnf, WmcWeights) {
+        let mut s = seed;
+        loop {
+            let cnf = random_ksat(n, m, 3, s);
+            let w = WmcWeights::new((0..n).map(|v| 0.35 + 0.03 * (v % 6) as f64).collect());
+            if weighted_model_count(&cnf, &w) > 0.0 {
+                return (cnf, w);
+            }
+            s += 1;
+        }
+    }
+
+    #[test]
+    fn exact_batch_matches_the_oracle_and_hits_the_store() {
+        let (cnf, w) = sat_instance(10, 26, 1);
+        let mut engine = engine();
+        let id = engine.register("kb", &cnf, w.clone());
+        let mut ev = Evidence::empty(10);
+        ev.set(0, 1).set(3, 0);
+        let queries = vec![
+            Query::exact(QueryKind::Wmc),
+            Query::exact(QueryKind::Probability(ev.clone())),
+            Query::exact(QueryKind::Posterior(ev.clone())),
+            Query::exact(QueryKind::Marginal(ev.clone(), 5)),
+            Query::exact(QueryKind::Mpe(ev.clone())),
+        ];
+        let report = engine.serve(id, &queries).unwrap();
+        assert_eq!(report.outcomes.len(), 5);
+        let mut oracle = CompiledWmc::new(&cnf, &w);
+        match &report.outcomes[0].answer {
+            Answer::Exact(z) => assert_eq!(*z, oracle.wmc()),
+            other => panic!("expected exact WMC, got {other:?}"),
+        }
+        match &report.outcomes[1].answer {
+            Answer::Exact(p) => assert_eq!(*p, oracle.probability(&ev)),
+            other => panic!("expected exact probability, got {other:?}"),
+        }
+        match &report.outcomes[2].answer {
+            Answer::Exact(p) => assert_eq!(*p, oracle.posterior(&ev).unwrap()),
+            other => panic!("expected exact posterior, got {other:?}"),
+        }
+        assert!(matches!(report.outcomes[3].answer, Answer::Distribution(_)));
+        match &report.outcomes[4].answer {
+            Answer::Assignment { assignment, .. } => {
+                let model: Vec<bool> = assignment.iter().map(|&v| v == 1).collect();
+                assert!(cnf.eval(&model));
+            }
+            other => panic!("expected assignment, got {other:?}"),
+        }
+        // A second batch answers from the hot store: no new insertion.
+        let before = engine.store_stats().insertions;
+        let _ = engine.serve(id, &queries[..2]).unwrap();
+        assert_eq!(engine.store_stats().insertions, before);
+        assert_eq!(engine.router_stats().exact, 7);
+    }
+
+    #[test]
+    fn fast_path_agrees_with_batch_path_bit_for_bit() {
+        let (cnf, w) = sat_instance(9, 24, 3);
+        let mut engine = engine();
+        let id = engine.register("kb", &cnf, w);
+        let mut ev = Evidence::empty(9);
+        ev.set(2, 1);
+        let fast = engine.query(id, &QueryKind::Posterior(ev.clone())).unwrap();
+        let batch = engine.serve(id, &[Query::exact(QueryKind::Posterior(ev))]).unwrap();
+        let (Answer::Exact(a), Answer::Exact(b)) = (&fast, &batch.outcomes[0].answer) else {
+            panic!("both paths are exact");
+        };
+        assert_eq!(a.to_bits(), b.to_bits(), "arena and oracle agree bit-for-bit");
+    }
+
+    #[test]
+    fn deadline_fallback_produces_bounds_containing_the_exact_answer() {
+        let (cnf, w) = sat_instance(12, 30, 5);
+        let mut engine = engine();
+        let id = engine.register("kb", &cnf, w.clone());
+        // Cold artifact + tight deadline: the router charges the
+        // predicted compile and degrades to anytime bounds.
+        let q = Query::with_deadline(QueryKind::Wmc, Duration::from_micros(50));
+        let report = engine.serve(id, &[q]).unwrap();
+        assert!(matches!(report.outcomes[0].route, Route::Approx { .. }));
+        let Answer::Bounds { lower, upper, .. } = report.outcomes[0].answer else {
+            panic!("deadline fallback must produce bounds");
+        };
+        let exact = weighted_model_count(&cnf, &w);
+        assert!(lower <= exact && exact <= upper, "[{lower}, {upper}] vs {exact}");
+        assert_eq!(engine.router_stats().deadline_fallbacks, 1);
+        assert_eq!(engine.store_stats().insertions, 0, "no compile happened");
+    }
+
+    #[test]
+    fn incremental_edits_recompile_with_component_reuse() {
+        let (cnf, w) = sat_instance(12, 30, 7);
+        let mut engine = engine();
+        let id = engine.register("kb", &cnf, w.clone());
+        engine.warm(id).unwrap();
+        let cold_stats = engine.last_compile_stats(id);
+        assert_eq!(cold_stats.persistent_hits, 0);
+        engine.add_clause(id, &[1, -2, 3]);
+        engine.warm(id).unwrap();
+        let warm_stats = engine.last_compile_stats(id);
+        assert!(
+            warm_stats.persistent_hits > 0,
+            "incremental recompile must reuse components: {warm_stats:?}"
+        );
+        // Answers stay exact after the edit.
+        let Answer::Exact(z) = engine.query(id, &QueryKind::Wmc).unwrap() else {
+            panic!("exact");
+        };
+        let expect = weighted_model_count(&engine.kb(id).cnf(), &w);
+        assert!((z - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predictor_rung_activates_under_impossible_deadlines() {
+        let (cnf, w) = sat_instance(8, 20, 11);
+        let cfg = ServeConfig {
+            predictor: Some(PredictConfig {
+                queries: 96,
+                epochs: 120,
+                hidden: 12,
+                ..PredictConfig::default()
+            }),
+            ..ServeConfig::default()
+        };
+        let mut engine = ServeEngine::new(cfg);
+        let id = engine.register("kb", &cnf, w);
+        engine.warm(id).unwrap();
+        assert!(engine.telemetry(id).has_predictor);
+        let q = Query::with_deadline(QueryKind::Wmc, Duration::from_nanos(10));
+        let report = engine.serve(id, &[q]).unwrap();
+        assert_eq!(report.outcomes[0].route, Route::Predicted);
+        let Answer::Predicted(p) = report.outcomes[0].answer else {
+            panic!("predicted answer");
+        };
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn unsat_kbs_are_rejected_with_no_mass() {
+        let cnf = Cnf::from_clauses(2, vec![vec![1], vec![-1]]);
+        let mut engine = engine();
+        let id = engine.register("empty", &cnf, WmcWeights::uniform(2));
+        assert_eq!(engine.warm(id), Err(ServeError::NoMass("empty".to_string())));
+    }
+
+    #[test]
+    fn eviction_roundtrip_preserves_answers_bit_for_bit() {
+        let cfg = ServeConfig {
+            store: StoreConfig { max_entries: 1, max_bytes: usize::MAX },
+            ..ServeConfig::default()
+        };
+        let mut engine = ServeEngine::new(cfg);
+        let (cnf_a, w_a) = sat_instance(9, 22, 21);
+        let (cnf_b, w_b) = sat_instance(10, 24, 22);
+        let a = engine.register("a", &cnf_a, w_a);
+        let b = engine.register("b", &cnf_b, w_b);
+        let Answer::Exact(z_first) = engine.query(a, &QueryKind::Wmc).unwrap() else {
+            panic!("exact");
+        };
+        // Serving B evicts A (1-entry store); serving A again
+        // recompiles and must reproduce the identical bits.
+        let _ = engine.query(b, &QueryKind::Wmc).unwrap();
+        assert_eq!(engine.store_stats().evictions, 1);
+        let Answer::Exact(z_again) = engine.query(a, &QueryKind::Wmc).unwrap() else {
+            panic!("exact");
+        };
+        assert_eq!(z_first.to_bits(), z_again.to_bits());
+        assert_eq!(engine.store_stats().insertions, 3);
+    }
+}

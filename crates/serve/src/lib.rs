@@ -1,0 +1,63 @@
+//! `reason-serve` — the knowledge-base serving engine.
+//!
+//! REASON's deployment argument (and this repo's north star) is a
+//! system answering *heavy repeated query traffic* against shared
+//! logical knowledge. Before this crate, nothing survived between
+//! `reason-eval` invocations: every query repaid compilation from
+//! scratch. `reason-serve` is the layer that remembers:
+//!
+//! * [`KnowledgeBase`] ([`kb`]) — a registered CNF rule set over fixed
+//!   per-variable marginals, owning the cross-query
+//!   [`reason_pc::PersistentComponentCache`] so that clause
+//!   additions/retractions recompile only the components they touch.
+//! * [`CircuitStore`] ([`store`]) — the persistent compiled-circuit
+//!   store: artifacts (flat [`reason_pc::Dnnf`] arenas plus their
+//!   source circuits) keyed by canonical [`FormulaFingerprint`]s
+//!   ([`fingerprint`]), LRU-bounded by entries and bytes, with
+//!   hit/miss/eviction [`CacheStats`]. Eviction is safe: recompiling
+//!   the same key reproduces answers bit-for-bit.
+//! * [`QueryRouter`] ([`router`]) — adaptive admission: each
+//!   deadline-carrying [`Query`] is routed to exact compiled
+//!   evaluation, anytime Monte-Carlo bounds with a deadline-trimmed
+//!   budget, or one prediction-network forward pass, using predicted
+//!   costs seeded from the committed compile-sweep telemetry and
+//!   refined by live measurements.
+//! * [`ServeEngine`] ([`engine`]) — ties it together and executes
+//!   admitted batches through `reason_system::BatchExecutor`'s
+//!   threaded lanes; exact queries share one `Arc<CompiledWmc>` across
+//!   the symbolic workers.
+//!
+//! `reason-eval serve` sweeps this engine (repeated-query speedups,
+//! deadline fallbacks, incremental edits) and commits the result as
+//! `BENCH_serve.json`.
+//!
+//! # Example
+//!
+//! ```
+//! use reason_sat::Cnf;
+//! use reason_pc::WmcWeights;
+//! use reason_serve::{Answer, Query, QueryKind, ServeConfig, ServeEngine};
+//!
+//! let cnf = Cnf::from_clauses(3, vec![vec![1, 2], vec![-2, 3]]);
+//! let mut engine = ServeEngine::new(ServeConfig::default());
+//! let kb = engine.register("rules", &cnf, WmcWeights::uniform(3));
+//!
+//! // First exact query compiles; every later one is served hot.
+//! let report = engine.serve(kb, &[Query::exact(QueryKind::Wmc)]).unwrap();
+//! let Answer::Exact(z) = report.outcomes[0].answer else { unreachable!() };
+//! assert!((z - 0.5).abs() < 1e-12); // 4 of 8 assignments satisfy
+
+//! assert_eq!(engine.store_stats().insertions, 1);
+//! ```
+
+pub mod engine;
+pub mod fingerprint;
+pub mod kb;
+pub mod router;
+pub mod store;
+
+pub use engine::{Answer, KbId, ServeConfig, ServeEngine, ServeError, ServeOutcome, ServeReport};
+pub use fingerprint::FormulaFingerprint;
+pub use kb::KnowledgeBase;
+pub use router::{KbTelemetry, Query, QueryKind, QueryRouter, Route, RouterConfig, RouterStats};
+pub use store::{CacheStats, CircuitStore, StoreConfig, StoredCircuit};

@@ -1,0 +1,330 @@
+//! Adaptive exact/approx/predicted query routing.
+//!
+//! Every admitted [`Query`] carries an optional deadline. The
+//! [`QueryRouter`] predicts what the exact compiled path would cost —
+//! from the knowledge base's live [`KbTelemetry`]: measured warm-eval
+//! latency when the artifact is hot, predicted (or last measured)
+//! compile latency when it is cold — and walks the ladder:
+//!
+//! 1. **Exact** — compiled-circuit evaluation; always taken when there
+//!    is no deadline or the predicted cost fits.
+//! 2. **Approx** — anytime Monte-Carlo bounds with the sample budget
+//!    trimmed to the remaining deadline (probability-valued queries
+//!    only).
+//! 3. **Predicted** — one forward pass of the knowledge base's trained
+//!    prediction network: microseconds, no bounds, the last resort
+//!    under sub-millisecond deadlines.
+//!
+//! Distribution- and assignment-valued queries ([`QueryKind::Marginal`],
+//! [`QueryKind::Mpe`]) have no approximate rung yet and always route
+//! exact. Cost constants start from a coarse fit of the committed
+//! `BENCH_pc.json` compile sweep and are replaced by measurements as
+//! the engine serves traffic — the routing is *adaptive*, not static.
+
+use std::time::Duration;
+
+use reason_pc::Evidence;
+
+/// What a query asks of its knowledge base.
+#[derive(Debug, Clone)]
+pub enum QueryKind {
+    /// The weighted model count `Pr[φ]`.
+    Wmc,
+    /// `Pr[φ ∧ e]` for partial evidence `e`.
+    Probability(Evidence),
+    /// `Pr[e | φ]`.
+    Posterior(Evidence),
+    /// The marginal distribution of one variable given the evidence.
+    Marginal(Evidence, usize),
+    /// Most probable explanation completing the evidence.
+    Mpe(Evidence),
+}
+
+impl QueryKind {
+    /// How many circuit evaluations the exact path costs.
+    pub(crate) fn exact_evals(&self) -> f64 {
+        match self {
+            // One sweep per value plus the normalizer.
+            QueryKind::Marginal(..) => 3.0,
+            _ => 1.0,
+        }
+    }
+
+    /// `true` for the probability-valued kinds the approximate and
+    /// predicted rungs can answer.
+    pub(crate) fn degradable(&self) -> bool {
+        matches!(self, QueryKind::Wmc | QueryKind::Probability(_) | QueryKind::Posterior(_))
+    }
+}
+
+/// One admitted query: a kind plus an optional latency deadline.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// What is asked.
+    pub kind: QueryKind,
+    /// Answer-by budget; `None` means "exact, whatever it costs".
+    pub deadline: Option<Duration>,
+}
+
+impl Query {
+    /// A deadline-free (always-exact) query.
+    pub fn exact(kind: QueryKind) -> Self {
+        Query { kind, deadline: None }
+    }
+
+    /// A deadline-bound query.
+    pub fn with_deadline(kind: QueryKind, deadline: Duration) -> Self {
+        Query { kind, deadline: Some(deadline) }
+    }
+}
+
+/// Where the router sent a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Exact compiled evaluation.
+    Exact,
+    /// Anytime Monte-Carlo bounds under a trimmed sample budget.
+    Approx {
+        /// The deadline-fitted sample budget.
+        samples: u64,
+    },
+    /// One forward pass of the trained prediction network.
+    Predicted,
+}
+
+/// Router knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouterConfig {
+    /// Fraction of the deadline a predicted cost must fit inside —
+    /// head-room against prediction error (default 0.5).
+    pub deadline_safety: f64,
+    /// Fewest samples an approximate answer is worth (default 512);
+    /// below this the ladder falls through to the prediction network.
+    pub min_approx_samples: u64,
+    /// Sample budget cap, so lax deadlines don't buy pointless work
+    /// (default 65 536).
+    pub max_approx_samples: u64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig { deadline_safety: 0.5, min_approx_samples: 512, max_approx_samples: 1 << 16 }
+    }
+}
+
+/// The live cost picture of one knowledge base, maintained by the
+/// serving engine.
+#[derive(Debug, Clone, Copy)]
+pub struct KbTelemetry {
+    /// `true` when the compiled artifact is hot in the store.
+    pub compiled: bool,
+    /// Predicted cold-compile seconds: the coarse `BENCH_pc.json` fit
+    /// before the first compile, the last measured compile after.
+    pub compile_s: f64,
+    /// Measured warm exact-evaluation seconds (EWMA).
+    pub eval_s: f64,
+    /// Measured approximate-sampling seconds per sample (EWMA).
+    pub sample_s: f64,
+    /// `true` when a trained prediction network is available.
+    pub has_predictor: bool,
+}
+
+impl KbTelemetry {
+    /// The pre-measurement prior for a formula of `num_vars` variables
+    /// and `num_clauses` clauses: compile cost from a coarse
+    /// exponential fit of the committed `BENCH_pc.json` random-3-SAT
+    /// ladder (~124 µs at n = 12 doubling roughly every 3.6 variables),
+    /// eval cost proportional to expected circuit size, sampling cost
+    /// proportional to clause count.
+    pub fn prior(num_vars: usize, num_clauses: usize) -> Self {
+        let n = num_vars as f64;
+        KbTelemetry {
+            compiled: false,
+            compile_s: 1.2e-4 * 1.21f64.powf((n - 12.0).max(0.0)),
+            eval_s: 2e-7 * n.max(1.0),
+            sample_s: 5e-8 * (num_clauses.max(1) as f64),
+            has_predictor: false,
+        }
+    }
+
+    /// Predicted seconds for the exact path of `kind` right now:
+    /// (cold ? compile : 0) + evals × warm-eval.
+    pub fn exact_cost(&self, kind: &QueryKind) -> f64 {
+        let compile = if self.compiled { 0.0 } else { self.compile_s };
+        compile + kind.exact_evals() * self.eval_s
+    }
+}
+
+/// Per-route admission counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Queries routed to exact evaluation.
+    pub exact: u64,
+    /// Queries routed to anytime bounds.
+    pub approx: u64,
+    /// Queries routed to the prediction network.
+    pub predicted: u64,
+    /// Queries pushed off the exact rung by their deadline.
+    pub deadline_fallbacks: u64,
+}
+
+/// The admission router (see the [module docs](self)).
+#[derive(Debug, Clone, Default)]
+pub struct QueryRouter {
+    config: RouterConfig,
+    stats: RouterStats,
+}
+
+impl QueryRouter {
+    /// A router with the given knobs.
+    pub fn new(config: RouterConfig) -> Self {
+        QueryRouter { config, stats: RouterStats::default() }
+    }
+
+    /// The knobs.
+    pub fn config(&self) -> RouterConfig {
+        self.config
+    }
+
+    /// Admission counters so far.
+    pub fn stats(&self) -> RouterStats {
+        self.stats
+    }
+
+    /// Picks the route for one query given its knowledge base's live
+    /// telemetry, recording the decision in the counters.
+    pub fn route(&mut self, query: &Query, telemetry: &KbTelemetry) -> Route {
+        let route = self.decide(query, telemetry);
+        match route {
+            Route::Exact => self.stats.exact += 1,
+            Route::Approx { .. } => {
+                self.stats.approx += 1;
+                self.stats.deadline_fallbacks += 1;
+            }
+            Route::Predicted => {
+                self.stats.predicted += 1;
+                self.stats.deadline_fallbacks += 1;
+            }
+        }
+        route
+    }
+
+    fn decide(&self, query: &Query, t: &KbTelemetry) -> Route {
+        let Some(deadline) = query.deadline else {
+            return Route::Exact;
+        };
+        let budget_s = deadline.as_secs_f64() * self.config.deadline_safety;
+        if t.exact_cost(&query.kind) <= budget_s || !query.kind.degradable() {
+            // Distribution/assignment queries have no approximate rung:
+            // they take the exact path even past their deadline.
+            return Route::Exact;
+        }
+        let samples = (budget_s / t.sample_s.max(1e-12)) as u64;
+        if samples >= self.config.min_approx_samples {
+            return Route::Approx { samples: samples.min(self.config.max_approx_samples) };
+        }
+        if t.has_predictor {
+            return Route::Predicted;
+        }
+        // No predictor trained yet: the smallest sound approximation is
+        // still better than silently blowing the deadline on exact.
+        Route::Approx { samples: self.config.min_approx_samples }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hot_telemetry() -> KbTelemetry {
+        KbTelemetry {
+            compiled: true,
+            compile_s: 0.2,
+            eval_s: 5e-6,
+            sample_s: 2e-6,
+            has_predictor: true,
+        }
+    }
+
+    #[test]
+    fn deadline_free_queries_route_exact() {
+        let mut router = QueryRouter::default();
+        let t = hot_telemetry();
+        assert_eq!(router.route(&Query::exact(QueryKind::Wmc), &t), Route::Exact);
+        assert_eq!(router.stats().exact, 1);
+        assert_eq!(router.stats().deadline_fallbacks, 0);
+    }
+
+    #[test]
+    fn generous_deadlines_stay_exact() {
+        let mut router = QueryRouter::default();
+        let q = Query::with_deadline(QueryKind::Wmc, Duration::from_millis(50));
+        assert_eq!(router.route(&q, &hot_telemetry()), Route::Exact);
+    }
+
+    #[test]
+    fn cold_artifacts_charge_the_compile_and_fall_back_to_bounds() {
+        let mut router = QueryRouter::default();
+        let t = KbTelemetry { compiled: false, ..hot_telemetry() };
+        // 10 ms deadline vs 200 ms predicted compile: exact is out, and
+        // the 5 ms effective budget buys 2 500 samples.
+        let q = Query::with_deadline(QueryKind::Wmc, Duration::from_millis(10));
+        match router.route(&q, &t) {
+            Route::Approx { samples } => assert_eq!(samples, 2500),
+            other => panic!("expected approx, got {other:?}"),
+        }
+        assert_eq!(router.stats().deadline_fallbacks, 1);
+    }
+
+    #[test]
+    fn sub_microsecond_deadlines_reach_the_prediction_net() {
+        let mut router = QueryRouter::default();
+        let q = Query::with_deadline(
+            QueryKind::Posterior(Evidence::empty(4)),
+            Duration::from_nanos(500),
+        );
+        assert_eq!(router.route(&q, &hot_telemetry()), Route::Predicted);
+        let t = KbTelemetry { has_predictor: false, ..hot_telemetry() };
+        match router.route(&q, &t) {
+            Route::Approx { samples } => {
+                assert_eq!(samples, RouterConfig::default().min_approx_samples);
+            }
+            other => panic!("no predictor must degrade to minimum bounds, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn distribution_queries_never_degrade() {
+        let mut router = QueryRouter::default();
+        let t = KbTelemetry { compiled: false, ..hot_telemetry() };
+        let q = Query::with_deadline(
+            QueryKind::Marginal(Evidence::empty(4), 0),
+            Duration::from_nanos(100),
+        );
+        assert_eq!(router.route(&q, &t), Route::Exact);
+        let m = Query::with_deadline(QueryKind::Mpe(Evidence::empty(4)), Duration::from_nanos(100));
+        assert_eq!(router.route(&m, &t), Route::Exact);
+    }
+
+    #[test]
+    fn sample_budgets_are_capped() {
+        let mut router = QueryRouter::default();
+        let t = KbTelemetry { compiled: false, sample_s: 1e-9, ..hot_telemetry() };
+        let q = Query::with_deadline(QueryKind::Wmc, Duration::from_millis(100));
+        match router.route(&q, &t) {
+            Route::Approx { samples } => {
+                assert_eq!(samples, RouterConfig::default().max_approx_samples);
+            }
+            other => panic!("expected capped approx, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn telemetry_prior_grows_with_instance_size() {
+        let small = KbTelemetry::prior(12, 36);
+        let large = KbTelemetry::prior(60, 84);
+        assert!(large.compile_s > small.compile_s * 100.0);
+        assert!(large.sample_s > small.sample_s);
+        assert!(!small.compiled && !small.has_predictor);
+    }
+}

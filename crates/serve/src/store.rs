@@ -1,0 +1,321 @@
+//! The persistent compiled-circuit store: LRU-bounded, byte-metered.
+//!
+//! A [`CircuitStore`] maps [`FormulaFingerprint`]s to compiled
+//! artifacts so that *every* query after a knowledge base's first
+//! compilation is answered from the store instead of repaying
+//! compilation. Entries carry the flat d-DNNF arena (the serving hot
+//! path), the source circuit (rehydrating shared [`reason_pc::CompiledWmc`]
+//! oracles for executor lanes), the cached weighted model count, and
+//! the compile telemetry the router's cost model feeds on.
+//!
+//! The store is bounded two ways — entry count and total artifact
+//! bytes — and evicts least-recently-used entries when either bound is
+//! crossed. Eviction is safe by construction: recompiling the same
+//! `(formula, weights)` key reproduces the artifact bit-for-bit (see
+//! the store round-trip property tests), so an evicted entry costs
+//! latency, never correctness.
+
+use std::collections::HashMap;
+
+use reason_pc::{Circuit, CompileStats, Dnnf};
+
+use crate::fingerprint::FormulaFingerprint;
+
+/// Size bounds of a [`CircuitStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Maximum live entries.
+    pub max_entries: usize,
+    /// Maximum total artifact bytes (arena + circuit estimates). A
+    /// single artifact larger than the bound is still admitted — the
+    /// bound then holds everything *else* out.
+    pub max_bytes: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig { max_entries: 64, max_bytes: 64 << 20 }
+    }
+}
+
+/// One compiled artifact.
+#[derive(Debug, Clone)]
+pub struct StoredCircuit {
+    /// The flat, evaluation-ready d-DNNF arena.
+    pub dnnf: Dnnf,
+    /// The source circuit (rehydrates shared `CompiledWmc` oracles).
+    pub circuit: Circuit,
+    /// The weighted model count, cached at insertion.
+    pub z: f64,
+    /// Seconds the producing compilation took.
+    pub compile_s: f64,
+    /// The producing compilation's counters.
+    pub stats: CompileStats,
+}
+
+impl StoredCircuit {
+    /// Artifact footprint metered against [`StoreConfig::max_bytes`].
+    pub fn bytes(&self) -> usize {
+        self.dnnf.bytes() + self.circuit.footprint_bytes()
+    }
+}
+
+/// Hit/miss/eviction counters plus current occupancy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Artifacts inserted.
+    pub insertions: u64,
+    /// Artifacts evicted by the LRU bounds.
+    pub evictions: u64,
+    /// Live entries right now.
+    pub entries: usize,
+    /// Live artifact bytes right now.
+    pub bytes: usize,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Slot {
+    value: StoredCircuit,
+    last_used: u64,
+}
+
+/// The LRU compiled-circuit store (see the [module docs](self)).
+pub struct CircuitStore {
+    config: StoreConfig,
+    entries: HashMap<FormulaFingerprint, Slot>,
+    bytes: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+}
+
+impl CircuitStore {
+    /// An empty store with the given bounds.
+    pub fn new(config: StoreConfig) -> Self {
+        CircuitStore {
+            config,
+            entries: HashMap::new(),
+            bytes: 0,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            insertions: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The store's bounds.
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+
+    /// Looks an artifact up, counting the hit/miss and refreshing the
+    /// entry's recency on a hit.
+    pub fn get(&mut self, key: &FormulaFingerprint) -> Option<&StoredCircuit> {
+        self.tick += 1;
+        match self.entries.get_mut(key) {
+            Some(slot) => {
+                slot.last_used = self.tick;
+                self.hits += 1;
+                Some(&slot.value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// `true` when the key is live — no recency bump, no hit/miss
+    /// accounting.
+    pub fn contains(&self, key: &FormulaFingerprint) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Reads an entry without touching counters or recency — for a
+    /// caller that just paid the accounting through
+    /// [`get`](Self::get) and needs a second (immutable) look.
+    pub fn peek(&self, key: &FormulaFingerprint) -> Option<&StoredCircuit> {
+        self.entries.get(key).map(|slot| &slot.value)
+    }
+
+    /// Inserts (or replaces) an artifact, then evicts
+    /// least-recently-used entries until both bounds hold again. The
+    /// newly inserted artifact is never the eviction victim.
+    pub fn insert(&mut self, key: FormulaFingerprint, value: StoredCircuit) {
+        self.tick += 1;
+        self.insertions += 1;
+        let added = value.bytes();
+        if let Some(old) = self.entries.insert(key.clone(), Slot { value, last_used: self.tick }) {
+            self.bytes -= old.value.bytes();
+        }
+        self.bytes += added;
+        while self.entries.len() > self.config.max_entries
+            || (self.bytes > self.config.max_bytes && self.entries.len() > 1)
+        {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(v) => {
+                    self.remove(&v);
+                    self.evictions += 1;
+                }
+                None => break, // only the fresh entry remains
+            }
+        }
+    }
+
+    /// Removes an entry outright (KB deregistration), returning it.
+    pub fn remove(&mut self, key: &FormulaFingerprint) -> Option<StoredCircuit> {
+        self.entries.remove(key).map(|slot| {
+            self.bytes -= slot.value.bytes();
+            slot.value
+        })
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Counters plus current occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            insertions: self.insertions,
+            evictions: self.evictions,
+            entries: self.entries.len(),
+            bytes: self.bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reason_pc::{compile_cnf, compile_cnf_with_stats, CompileConfig, WmcWeights};
+    use reason_sat::gen::random_ksat;
+    use reason_sat::Cnf;
+
+    fn artifact(seed: u64) -> (FormulaFingerprint, StoredCircuit) {
+        let mut s = seed;
+        loop {
+            let cnf = random_ksat(8, 20, 3, s);
+            let w = WmcWeights::uniform(8);
+            let (circuit, stats) = compile_cnf_with_stats(&cnf, &w, &CompileConfig::default());
+            if let Some(circuit) = circuit {
+                let dnnf = Dnnf::from_circuit(&circuit).unwrap();
+                let mut buf = reason_pc::DnnfBuffer::new();
+                let z = dnnf.probability(&reason_pc::Evidence::empty(8), &mut buf);
+                let fp = FormulaFingerprint::new(&cnf, &w);
+                return (fp, StoredCircuit { dnnf, circuit, z, compile_s: 1e-3, stats });
+            }
+            s += 1000;
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_recency_accounting() {
+        let mut store = CircuitStore::new(StoreConfig::default());
+        let (fp, art) = artifact(1);
+        assert!(store.get(&fp).is_none());
+        store.insert(fp.clone(), art);
+        assert!(store.get(&fp).is_some());
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes > 0);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entry_bound_evicts_least_recently_used() {
+        let mut store = CircuitStore::new(StoreConfig { max_entries: 2, max_bytes: usize::MAX });
+        let (fp_a, a) = artifact(1);
+        let (fp_b, b) = artifact(2);
+        let (fp_c, c) = artifact(3);
+        store.insert(fp_a.clone(), a);
+        store.insert(fp_b.clone(), b);
+        let _ = store.get(&fp_a); // refresh A: B becomes the LRU victim
+        store.insert(fp_c.clone(), c);
+        assert!(store.contains(&fp_a));
+        assert!(!store.contains(&fp_b), "stale entry must be evicted");
+        assert!(store.contains(&fp_c));
+        assert_eq!(store.stats().evictions, 1);
+    }
+
+    #[test]
+    fn byte_bound_holds_but_admits_a_single_oversized_artifact() {
+        let (fp_a, a) = artifact(1);
+        let (fp_b, b) = artifact(2);
+        let tiny = a.bytes() / 2;
+        let mut store = CircuitStore::new(StoreConfig { max_entries: 10, max_bytes: tiny });
+        store.insert(fp_a.clone(), a);
+        assert_eq!(store.len(), 1, "oversized single artifact is admitted");
+        store.insert(fp_b.clone(), b);
+        assert_eq!(store.len(), 1, "byte bound evicts the older artifact");
+        assert!(store.contains(&fp_b));
+    }
+
+    #[test]
+    fn recompilation_reproduces_evicted_artifacts_bit_for_bit() {
+        let cnf = Cnf::from_clauses(6, vec![vec![1, 2], vec![-2, 3], vec![4, 5, -6]]);
+        let w = WmcWeights::new(vec![0.4, 0.55, 0.5, 0.35, 0.6, 0.45]);
+        let first = compile_cnf(&cnf, &w).unwrap();
+        let z_first = Dnnf::from_circuit(&first)
+            .unwrap()
+            .probability(&reason_pc::Evidence::empty(6), &mut reason_pc::DnnfBuffer::new());
+        // "Evict" and recompile from scratch: identical key → identical
+        // artifact → identical bits.
+        let second = compile_cnf(&cnf, &w).unwrap();
+        assert_eq!(first, second);
+        let z_second = Dnnf::from_circuit(&second)
+            .unwrap()
+            .probability(&reason_pc::Evidence::empty(6), &mut reason_pc::DnnfBuffer::new());
+        assert_eq!(z_first.to_bits(), z_second.to_bits());
+    }
+
+    #[test]
+    fn replacing_an_entry_keeps_byte_accounting_consistent() {
+        let mut store = CircuitStore::new(StoreConfig::default());
+        let (fp, a) = artifact(1);
+        let bytes_a = a.bytes();
+        store.insert(fp.clone(), a);
+        assert_eq!(store.stats().bytes, bytes_a);
+        let (_, b) = artifact(5);
+        let bytes_b = b.bytes();
+        store.insert(fp.clone(), b);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.stats().bytes, bytes_b);
+        store.remove(&fp);
+        assert_eq!(store.stats().bytes, 0);
+        assert!(store.is_empty());
+    }
+}

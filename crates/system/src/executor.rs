@@ -34,6 +34,7 @@
 //! assert_eq!(threaded.measured.tasks, 4);
 //! ```
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel;
@@ -42,7 +43,7 @@ use parking_lot::Mutex;
 use reason_approx::{ApproxConfig, ApproxEngine};
 use reason_neural::{LlmProxy, Matrix, Mlp, MlpBuilder};
 use reason_pc::{
-    random_mixture_circuit, Circuit, CompiledWmc, Evidence, StructureConfig, WmcWeights,
+    random_mixture_circuit, Circuit, CompiledWmc, EvalBuffer, Evidence, StructureConfig, WmcWeights,
 };
 use reason_sat::gen::random_ksat;
 use reason_sat::{Cnf, CubeAndConquer, CubeConfig, Solution};
@@ -130,11 +131,37 @@ pub enum SymbolicStage {
         /// Per-variable Bernoulli marginals, `probs[v] = p(X_v = 1)`.
         probs: Vec<f64>,
     },
+    /// A query served from a *shared* compiled knowledge base: the
+    /// oracle lives behind an `Arc`, so one compilation answers queries
+    /// on every symbolic worker simultaneously (each worker reuses its
+    /// own [`EvalBuffer`] through the oracle's `&self` paths). This is
+    /// the lane `reason-serve` routes exact queries through.
+    Serve {
+        /// The shared compiled-WMC oracle.
+        oracle: Arc<CompiledWmc>,
+        /// The query to answer.
+        query: ServeQuery,
+    },
     /// A synthetic stage of known duration (sleeps).
     Synthetic {
         /// How long the stage takes.
         duration: Duration,
     },
+}
+
+/// What a [`SymbolicStage::Serve`] task asks of its shared oracle.
+#[derive(Debug, Clone)]
+pub enum ServeQuery {
+    /// The weighted model count `Pr[φ]` (already cached in the oracle).
+    Wmc,
+    /// `Pr[φ ∧ e]` for partial evidence `e`.
+    Probability(Evidence),
+    /// `Pr[e | φ]`; reported as 0 for massless formulas.
+    Posterior(Evidence),
+    /// The marginal distribution of one variable given the evidence.
+    Marginal(Evidence, usize),
+    /// Most probable explanation completing the evidence.
+    Mpe(Evidence),
 }
 
 /// One unit of work for the executor: a named neural/symbolic stage pair.
@@ -165,6 +192,17 @@ pub enum Verdict {
         lower: f64,
         /// Upper confidence bound.
         upper: f64,
+    },
+    /// A marginal distribution (from a [`ServeQuery::Marginal`]).
+    Distribution(Vec<f64>),
+    /// A most-probable-explanation assignment (from a
+    /// [`ServeQuery::Mpe`]); empty with `-inf` log-probability for
+    /// massless formulas.
+    Assignment {
+        /// The maximizing complete assignment.
+        assignment: Vec<usize>,
+        /// Its max-product log-probability.
+        log_prob: f64,
     },
     /// A synthetic stage completed.
     Done,
@@ -343,12 +381,16 @@ impl BatchExecutor {
                 let shm = shm.clone();
                 let slots = &slots;
                 scope.spawn(move |_| {
+                    // One evaluation buffer per worker: every PC/serve
+                    // task this worker executes reuses it, so repeated
+                    // queries against shared circuits are allocation-free.
+                    let mut eval_buf = EvalBuffer::new();
                     while let Ok((i, neural_s)) = ready_rx.recv() {
                         let buffer = shm
                             .take_neural(i as u64)
                             .expect("neural_ready is raised before dispatch");
                         let t0 = Instant::now();
-                        let verdict = run_symbolic(&tasks[i].symbolic);
+                        let verdict = run_symbolic(&tasks[i].symbolic, &mut eval_buf);
                         let symbolic_s = t0.elapsed().as_secs_f64();
                         *slots[i].lock() = Some(TaskResult {
                             name: tasks[i].name.clone(),
@@ -377,6 +419,7 @@ impl BatchExecutor {
 
 /// Serial reference path: both stages inline, in submission order.
 fn run_serial(tasks: &[BatchTask]) -> Vec<TaskResult> {
+    let mut eval_buf = EvalBuffer::new();
     tasks
         .iter()
         .map(|task| {
@@ -384,7 +427,7 @@ fn run_serial(tasks: &[BatchTask]) -> Vec<TaskResult> {
             let buffer = run_neural(&task.neural);
             let neural_s = t0.elapsed().as_secs_f64();
             let t1 = Instant::now();
-            let verdict = run_symbolic(&task.symbolic);
+            let verdict = run_symbolic(&task.symbolic, &mut eval_buf);
             let symbolic_s = t1.elapsed().as_secs_f64();
             TaskResult {
                 name: task.name.clone(),
@@ -419,13 +462,13 @@ fn run_neural(stage: &NeuralStage) -> Vec<f64> {
     }
 }
 
-fn run_symbolic(stage: &SymbolicStage) -> Verdict {
+fn run_symbolic(stage: &SymbolicStage, eval_buf: &mut EvalBuffer) -> Verdict {
     match stage {
         SymbolicStage::Sat { cnf, config } => {
             Verdict::Sat(CubeAndConquer::new(cnf, config.clone()).solve().solution)
         }
         SymbolicStage::Pc { circuit, evidence } => {
-            Verdict::LogMarginal(circuit.log_probability(evidence))
+            Verdict::LogMarginal(circuit.log_probability_with(evidence, eval_buf))
         }
         SymbolicStage::Approx { cnf, probs, config } => {
             let est = ApproxEngine::new(*config).wmc(cnf, &WmcWeights::new(probs.clone()));
@@ -435,6 +478,7 @@ fn run_symbolic(stage: &SymbolicStage) -> Verdict {
             let z = CompiledWmc::new(cnf, &WmcWeights::new(probs.clone())).wmc();
             Verdict::Wmc { estimate: z, lower: z, upper: z }
         }
+        SymbolicStage::Serve { oracle, query } => run_serve(oracle, query, eval_buf),
         SymbolicStage::Synthetic { duration } => {
             std::thread::sleep(*duration);
             Verdict::Done
@@ -442,13 +486,57 @@ fn run_symbolic(stage: &SymbolicStage) -> Verdict {
     }
 }
 
-/// A seeded mixed SAT/PC/approx/exact-WMC batch with MLP neural stages
-/// — the workload the `reason-eval pipeline` experiment and the
-/// pipeline bench drive. Lanes rotate SAT cube-and-conquer, exact PC
-/// marginal inference, anytime approximate WMC (a trimmed-budget
-/// [`ApproxConfig`], so demo batches stay interactive), and exact WMC
-/// through the top-down compiler's fast path.
+/// Answers one [`ServeQuery`] against a shared oracle through the
+/// worker's reusable buffer — `&self` all the way, so any number of
+/// workers serve the same compiled knowledge base concurrently.
+fn run_serve(oracle: &CompiledWmc, query: &ServeQuery, buf: &mut EvalBuffer) -> Verdict {
+    let degenerate = |p: f64| Verdict::Wmc { estimate: p, lower: p, upper: p };
+    match query {
+        ServeQuery::Wmc => degenerate(oracle.wmc()),
+        ServeQuery::Probability(ev) => degenerate(oracle.probability_with(ev, buf)),
+        ServeQuery::Posterior(ev) => degenerate(oracle.posterior_with(ev, buf).unwrap_or(0.0)),
+        ServeQuery::Marginal(ev, var) => match oracle.circuit() {
+            Some(c) => Verdict::Distribution(c.marginal_with(ev, *var, buf)),
+            // Massless formula: no conditional distribution exists;
+            // report the uniform fallback the circuit path uses for
+            // zero-probability evidence.
+            None => Verdict::Distribution(vec![0.5, 0.5]),
+        },
+        ServeQuery::Mpe(ev) => match oracle.circuit() {
+            Some(c) => {
+                let res = c.mpe_with(ev, buf);
+                Verdict::Assignment { assignment: res.assignment, log_prob: res.log_prob }
+            }
+            None => Verdict::Assignment { assignment: Vec::new(), log_prob: f64::NEG_INFINITY },
+        },
+    }
+}
+
+/// A seeded mixed batch with MLP neural stages — the workload the
+/// `reason-eval pipeline` experiment and the pipeline bench drive.
+/// Lanes rotate all five symbolic stages: SAT cube-and-conquer, exact
+/// PC marginal inference, anytime approximate WMC (a trimmed-budget
+/// [`ApproxConfig`], so demo batches stay interactive), exact WMC
+/// through the top-down compiler's fast path, and serve queries against
+/// one shared compiled knowledge base (the same `Arc<CompiledWmc>`
+/// across every serve task, exercising cross-thread sharing).
 pub fn demo_batch(tasks: usize, seed: u64) -> Vec<BatchTask> {
+    // The serve lane's knowledge base: compiled once, shared by every
+    // serve task in the batch. Walk seeds until the formula carries
+    // mass so the batch is usable at any seed. Built only when the
+    // batch is long enough to reach the serve lane (i = 5k + 4).
+    let serve_oracle = (tasks > 4).then(|| {
+        let mut s = seed + 900_000;
+        loop {
+            let cnf = random_ksat(13, 34, 3, s);
+            let probs: Vec<f64> = (0..13).map(|v| 0.4 + 0.02 * v as f64).collect();
+            let oracle = CompiledWmc::new(&cnf, &WmcWeights::new(probs));
+            if oracle.has_mass() {
+                break Arc::new(oracle);
+            }
+            s += 1;
+        }
+    });
     (0..tasks)
         .map(|i| {
             let s = seed + 1000 * i as u64;
@@ -456,7 +544,7 @@ pub fn demo_batch(tasks: usize, seed: u64) -> Vec<BatchTask> {
                 MlpBuilder::new(16).layer(32, true, s).layer(8, false, s + 1).softmax().build();
             let input = Matrix::random(4, 16, 1.0, s + 2);
             let neural = NeuralStage::Mlp { mlp, input };
-            let symbolic = match i % 4 {
+            let symbolic = match i % 5 {
                 0 => SymbolicStage::Sat {
                     cnf: random_ksat(12, 50, 3, s + 3),
                     config: CubeConfig { max_depth: 3, ..CubeConfig::default() },
@@ -468,10 +556,10 @@ pub fn demo_batch(tasks: usize, seed: u64) -> Vec<BatchTask> {
                         num_components: 2,
                         seed: s + 4,
                     });
-                    // PC tasks land at i = 4k + 1, so alternate the
+                    // PC tasks land at i = 5k + 1, so alternate the
                     // evidence value per PC task, not per task index.
                     let mut evidence = Evidence::empty(8);
-                    evidence.set(0, (i / 4) % 2);
+                    evidence.set(0, (i / 5) % 2);
                     SymbolicStage::Pc { circuit, evidence }
                 }
                 2 => SymbolicStage::Approx {
@@ -479,10 +567,22 @@ pub fn demo_batch(tasks: usize, seed: u64) -> Vec<BatchTask> {
                     probs: (0..14).map(|v| 0.35 + 0.02 * v as f64).collect(),
                     config: demo_approx_config(s + 6),
                 },
-                _ => SymbolicStage::ExactWmc {
+                3 => SymbolicStage::ExactWmc {
                     cnf: random_ksat(16, 40, 3, s + 7),
                     probs: (0..16).map(|v| 0.4 + 0.015 * v as f64).collect(),
                 },
+                _ => {
+                    // Serve tasks land at i = 5k + 4: alternate the
+                    // conditioned value per serve task.
+                    let mut evidence = Evidence::empty(13);
+                    evidence.set(0, (i / 5) % 2);
+                    SymbolicStage::Serve {
+                        oracle: Arc::clone(
+                            serve_oracle.as_ref().expect("serve lane implies tasks > 4"),
+                        ),
+                        query: ServeQuery::Posterior(evidence),
+                    }
+                }
             };
             BatchTask { name: format!("task-{i}"), neural, symbolic }
         })
@@ -637,16 +737,25 @@ mod tests {
     }
 
     #[test]
-    fn demo_batch_rotates_all_four_symbolic_lanes() {
-        let tasks = demo_batch(8, 0);
+    fn demo_batch_rotates_all_five_symbolic_lanes() {
+        let tasks = demo_batch(10, 0);
         assert!(matches!(tasks[0].symbolic, SymbolicStage::Sat { .. }));
         assert!(matches!(tasks[1].symbolic, SymbolicStage::Pc { .. }));
         assert!(matches!(tasks[2].symbolic, SymbolicStage::Approx { .. }));
         assert!(matches!(tasks[3].symbolic, SymbolicStage::ExactWmc { .. }));
+        assert!(matches!(tasks[4].symbolic, SymbolicStage::Serve { .. }));
+        // Every serve task shares the *same* compiled oracle.
+        let (SymbolicStage::Serve { oracle: a, .. }, SymbolicStage::Serve { oracle: b, .. }) =
+            (&tasks[4].symbolic, &tasks[9].symbolic)
+        else {
+            panic!("serve lanes at i = 5k + 4");
+        };
+        assert!(Arc::ptr_eq(a, b), "serve tasks share one compiled KB");
         let report = BatchExecutor::new(ExecutorConfig::overlapped(2)).run(&tasks);
         let wmc = report.verdicts().iter().filter(|v| matches!(v, Verdict::Wmc { .. })).count();
-        assert_eq!(wmc, 4, "two approx + two exact WMC verdicts");
-        // Exact lanes report degenerate brackets, approx lanes real ones.
+        assert_eq!(wmc, 6, "two approx + two exact WMC + two serve verdicts");
+        // Exact-WMC and serve lanes report degenerate brackets, approx
+        // lanes real ones.
         let exact = report
             .verdicts()
             .iter()
@@ -655,7 +764,66 @@ mod tests {
                 if lower == estimate && estimate == upper)
             })
             .count();
-        assert_eq!(exact, 2);
+        assert_eq!(exact, 4);
+    }
+
+    #[test]
+    fn serve_lane_matches_direct_oracle_queries_across_pool_shapes() {
+        let cnf = random_ksat(10, 26, 3, 8);
+        let probs: Vec<f64> = (0..10).map(|v| 0.3 + 0.04 * v as f64).collect();
+        let oracle = Arc::new(CompiledWmc::new(&cnf, &WmcWeights::new(probs)));
+        assert!(oracle.has_mass(), "seed 8 instance must carry mass");
+        let mut ev = Evidence::empty(10);
+        ev.set(1, 1);
+        let queries = vec![
+            ServeQuery::Wmc,
+            ServeQuery::Probability(ev.clone()),
+            ServeQuery::Posterior(ev.clone()),
+            ServeQuery::Marginal(ev.clone(), 4),
+            ServeQuery::Mpe(ev.clone()),
+        ];
+        let tasks: Vec<BatchTask> = queries
+            .into_iter()
+            .enumerate()
+            .map(|(i, query)| BatchTask {
+                name: format!("serve-{i}"),
+                neural: NeuralStage::Synthetic { duration: Duration::from_millis(1) },
+                symbolic: SymbolicStage::Serve { oracle: Arc::clone(&oracle), query },
+            })
+            .collect();
+        let serial = BatchExecutor::new(ExecutorConfig::sequential()).run(&tasks);
+        let threaded = BatchExecutor::new(ExecutorConfig::overlapped(3)).run(&tasks);
+        assert!(threaded.agrees_with(&serial));
+        let mut buf = EvalBuffer::new();
+        match &serial.results[0].verdict {
+            Verdict::Wmc { estimate, .. } => assert_eq!(*estimate, oracle.wmc()),
+            other => panic!("expected WMC, got {other:?}"),
+        }
+        match &serial.results[1].verdict {
+            Verdict::Wmc { estimate, .. } => {
+                assert_eq!(*estimate, oracle.probability_with(&ev, &mut buf));
+            }
+            other => panic!("expected probability, got {other:?}"),
+        }
+        match &serial.results[2].verdict {
+            Verdict::Wmc { estimate, .. } => {
+                assert_eq!(*estimate, oracle.posterior_with(&ev, &mut buf).unwrap());
+            }
+            other => panic!("expected posterior, got {other:?}"),
+        }
+        match &serial.results[3].verdict {
+            Verdict::Distribution(d) => {
+                assert_eq!(*d, oracle.circuit().unwrap().marginal_with(&ev, 4, &mut buf));
+            }
+            other => panic!("expected distribution, got {other:?}"),
+        }
+        match &serial.results[4].verdict {
+            Verdict::Assignment { assignment, .. } => {
+                let model: Vec<bool> = assignment.iter().map(|&v| v == 1).collect();
+                assert!(cnf.eval(&model), "served MPE must satisfy the formula");
+            }
+            other => panic!("expected assignment, got {other:?}"),
+        }
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //!   already modeled in `reason-arch`. This is the *cost model*: a
 //!   two-stage flow-shop schedule over per-task stage costs.
 //! * [`executor`] — the cost model made real: [`BatchExecutor`] runs
-//!   mixed SAT/PC batches on neural and symbolic worker pools with
+//!   mixed batches (SAT, PC inference, approximate WMC, exact WMC, and
+//!   serve queries against shared compiled knowledge bases) on neural
+//!   and symbolic worker pools with
 //!   genuine thread-level stage overlap, moves data through the
 //!   [`sync`] flag protocol, and reports measured schedules in the same
 //!   [`PipelineReport`] vocabulary so model and execution can be
@@ -36,7 +38,7 @@ pub mod sync;
 pub use device::{BatchId, DeviceStatus, ExecuteOutcome, ReasonDevice, ReasoningMode};
 pub use executor::{
     demo_approx_config, demo_batch, synthetic_batch, BatchExecutor, BatchReport, BatchTask,
-    ExecutorConfig, NeuralStage, SymbolicStage, TaskResult, Verdict,
+    ExecutorConfig, NeuralStage, ServeQuery, SymbolicStage, TaskResult, Verdict,
 };
 pub use pipeline::{PipelineReport, StageCost, TwoLevelPipeline};
 pub use sync::SharedMemory;

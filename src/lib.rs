@@ -19,6 +19,9 @@
 //!   two-level pipeline cost model, and the threaded
 //!   [`BatchExecutor`](system::BatchExecutor) that runs mixed SAT/PC
 //!   batches with real stage overlap ([`system`]);
+//! * the knowledge-base serving engine — a persistent compiled-circuit
+//!   store with adaptive exact/approx/predicted query routing
+//!   ([`serve`]);
 //! * the evaluation workloads and datasets ([`workloads`]).
 //!
 //! See `README.md` for a tour and `docs/ARCHITECTURE.md` for the
@@ -58,6 +61,7 @@ pub use reason_hmm as hmm;
 pub use reason_neural as neural;
 pub use reason_pc as pc;
 pub use reason_sat as sat;
+pub use reason_serve as serve;
 pub use reason_sim as sim;
 pub use reason_system as system;
 pub use reason_workloads as workloads;

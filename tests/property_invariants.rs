@@ -208,6 +208,94 @@ proptest! {
     }
 
     #[test]
+    fn dnnf_arena_evaluation_equals_circuit_wmc(n in 4usize..=16, seed in 0u64..10_000) {
+        // The serving layer's flat d-DNNF arena is a 1:1 flattening of
+        // the compiled circuit: on random CNFs across the tractable
+        // range, WMC, partial-evidence probabilities, marginals, and
+        // MPE must agree bit-for-bit with circuit evaluation.
+        use rand::{Rng, SeedableRng};
+        let m = 2 * n + (seed % 13) as usize;
+        let cnf = reason::sat::gen::random_ksat(n, m, 3, seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xD44F);
+        let probs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.05..0.95)).collect();
+        let Some(circuit) = compile_cnf(&cnf, &WmcWeights::new(probs)) else {
+            return Ok(());
+        };
+        let arena = reason::pc::Dnnf::from_circuit(&circuit).expect("binary universe");
+        let mut cbuf = reason::pc::EvalBuffer::new();
+        let mut abuf = reason::pc::DnnfBuffer::new();
+        // Full marginalization plus a random partial evidence pattern.
+        let mut evidence = Evidence::empty(n);
+        prop_assert_eq!(
+            circuit.log_probability_with(&evidence, &mut cbuf).to_bits(),
+            arena.log_probability(&evidence, &mut abuf).to_bits()
+        );
+        for v in 0..n {
+            if rng.gen_bool(0.4) {
+                evidence.set(v, usize::from(rng.gen_bool(0.5)));
+            }
+        }
+        let c = circuit.log_probability_with(&evidence, &mut cbuf);
+        let a = arena.log_probability(&evidence, &mut abuf);
+        prop_assert!(c == a || (c.is_nan() && a.is_nan()), "circuit {} vs arena {}", c, a);
+        let var = rng.gen_range(0..n);
+        prop_assert_eq!(
+            circuit.marginal_with(&evidence, var, &mut cbuf),
+            arena.marginal(&evidence, var, &mut abuf)
+        );
+        let cm = circuit.mpe_with(&evidence, &mut cbuf);
+        let am = arena.mpe(&evidence, &mut abuf);
+        prop_assert_eq!(cm.assignment, am.assignment);
+        prop_assert_eq!(cm.log_prob.to_bits(), am.log_prob.to_bits());
+    }
+
+    #[test]
+    fn circuit_store_roundtrip_preserves_answers_bit_for_bit(n in 4usize..=12, seed in 0u64..10_000) {
+        // Insert → evict → recompile through a 1-entry serving store:
+        // the recompiled artifact must reproduce the original answers
+        // bit-for-bit (eviction costs latency, never correctness).
+        use reason::serve::{Answer, QueryKind, ServeConfig, ServeEngine, StoreConfig};
+        use rand::{Rng, SeedableRng};
+        let m = 2 * n + (seed % 11) as usize;
+        let cnf = reason::sat::gen::random_ksat(n, m, 3, seed);
+        let weights = WmcWeights::uniform(n);
+        if compile_cnf(&cnf, &weights).is_none() {
+            return Ok(()); // massless KBs are rejected at registration
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x570E);
+        let mut evict_seed = seed ^ 0xE71C7;
+        let other = loop {
+            let other = reason::sat::gen::random_ksat(6, 13, 3, evict_seed);
+            if compile_cnf(&other, &WmcWeights::uniform(6)).is_some() {
+                break other;
+            }
+            evict_seed += 1;
+        };
+        let mut engine = ServeEngine::new(ServeConfig {
+            store: StoreConfig { max_entries: 1, max_bytes: usize::MAX },
+            ..ServeConfig::default()
+        });
+        let kb = engine.register("kb", &cnf, weights);
+        let mut evidence = Evidence::empty(n);
+        evidence.set(rng.gen_range(0..n), usize::from(rng.gen_bool(0.5)));
+        let kind = QueryKind::Posterior(evidence);
+        let Answer::Exact(first) = engine.query(kb, &kind).unwrap() else { unreachable!() };
+        // Fill the 1-entry store with another KB: the first artifact is
+        // evicted and the next query recompiles it.
+        let filler = engine.register("filler", &other, WmcWeights::uniform(6));
+        engine.warm(filler).unwrap();
+        prop_assert!(engine.store_stats().evictions >= 1);
+        // Stale the live oracle too (add + retract restores the same
+        // fingerprint at a new revision), so the next query is a
+        // genuine recompile, not a rebuild from the cached circuit.
+        engine.add_clause(kb, &[1]);
+        engine.retract_clause(kb, engine.kb(kb).num_clauses() - 1);
+        let Answer::Exact(again) = engine.query(kb, &kind).unwrap() else { unreachable!() };
+        prop_assert_eq!(first.to_bits(), again.to_bits(),
+            "evict + recompile changed an answer: {} vs {}", first, again);
+    }
+
+    #[test]
     fn approx_brackets_are_well_formed_and_track_brute_truth(cnf in arb_cnf(8, 14), seed in 0u64..1000) {
         // Small-budget Monte-Carlo WMC: the anytime bracket must be
         // well-formed at every checkpoint, and the enumerated truth must
