@@ -1,0 +1,93 @@
+//! Batched arena-evaluation benchmarks: `B` per-query d-DNNF walks
+//! against one structure-of-arrays batch traversal, plus the compiled
+//! kernel's lowering onto the cycle-accurate VLIW model.
+//!
+//! `cargo bench --bench bench_batch` (shimmed timing; raise
+//! `CRITERION_SHIM_ITERS` for real measurements).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use reason_pc::{BatchBuffer, CompiledWmc, Dnnf, DnnfBatch, DnnfBuffer, Evidence, WmcWeights};
+use reason_sat::gen::random_ksat;
+use reason_sat::Cnf;
+
+fn sat_instance(n: usize, m: usize, seed: u64) -> Cnf {
+    let mut s = seed;
+    loop {
+        let cnf = random_ksat(n, m, 3, s);
+        if reason_pc::weighted_model_count(&cnf, &WmcWeights::uniform(n)) > 0.0 {
+            return cnf;
+        }
+        s += 1;
+    }
+}
+
+fn arena_for(n: usize, m: usize) -> Dnnf {
+    let oracle = CompiledWmc::new(&sat_instance(n, m, 5), &WmcWeights::uniform(n));
+    Dnnf::from_circuit(oracle.circuit().expect("probed mass")).expect("binary circuits")
+}
+
+/// Mixed evidence lanes: empty, one observed variable, two observed.
+fn lanes_for(n: usize, lanes: usize) -> Vec<Evidence> {
+    (0..lanes)
+        .map(|i| {
+            let mut ev = Evidence::empty(n);
+            if i % 3 >= 1 {
+                ev.set(i % n, i & 1);
+            }
+            if i % 3 == 2 {
+                ev.set((i + 1) % n, 1);
+            }
+            ev
+        })
+        .collect()
+}
+
+/// `B` independent single-query walks vs one batched traversal.
+fn bench_arena_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arena_batch");
+    for (n, m) in [(12usize, 36usize), (20, 44)] {
+        let arena = arena_for(n, m);
+        let evs = lanes_for(n, 32);
+        let batch = DnnfBatch::pack(&evs);
+        let mut sbuf = DnnfBuffer::new();
+        let mut bbuf = BatchBuffer::new();
+        group.bench_function(BenchmarkId::new("per_query_32", n), |b| {
+            b.iter(|| {
+                for ev in &evs {
+                    black_box(arena.log_probability(ev, &mut sbuf));
+                }
+            })
+        });
+        group.bench_function(BenchmarkId::new("batched_32", n), |b| {
+            b.iter(|| black_box(arena.log_probability_batch(&batch, &mut bbuf)))
+        });
+    }
+    group.finish();
+}
+
+/// Lowering a rung's circuit through the mapping compiler onto the
+/// simulated accelerator, end to end.
+fn bench_accelerator_lowering(c: &mut Criterion) {
+    use reason_arch::{ArchConfig, VliwExecutor};
+    use reason_compiler::ReasonCompiler;
+    use reason_core::{dag_from_circuit, regularize};
+
+    let mut group = c.benchmark_group("arena_lowering");
+    let n = 12;
+    let oracle = CompiledWmc::new(&sat_instance(n, 36, 5), &WmcWeights::uniform(n));
+    let circuit = oracle.circuit().expect("probed mass");
+    let config = ArchConfig::paper();
+    group.bench_function(BenchmarkId::new("compile_execute", n), |b| {
+        b.iter(|| {
+            let (dag, map) = dag_from_circuit(circuit);
+            let dag = regularize(&dag);
+            let kernel = ReasonCompiler::new(config).compile(&dag).expect("fits");
+            let inputs = map.inputs_for_evidence(circuit.arities(), &vec![None; n]);
+            black_box(VliwExecutor::new(config).execute(&kernel.program(&inputs)).cycles)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_arena_batch, bench_accelerator_lowering);
+criterion_main!(benches);

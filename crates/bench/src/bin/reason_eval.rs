@@ -5,7 +5,7 @@
 //! reason-eval <experiment> [tasks] [workers] [--json] [--seed N]
 //!   experiments: fig2 fig3a fig3b fig3c fig3d table2 table3 table4
 //!                fig8 fig9 fig11 fig12 fig13 table5 ablation dse
-//!                pipeline approx compile serve all
+//!                pipeline approx compile serve batch all
 //!   pipeline: runs [tasks] mixed SAT/PC/approx/exact-WMC/serve tasks
 //!             on the threaded BatchExecutor with [workers] symbolic
 //!             workers
@@ -17,10 +17,14 @@
 //!   serve:    knowledge-base serving sweep (reason-serve) — persistent
 //!             circuit store, repeated-query speedups, router deadline
 //!             fallbacks, incremental clause edits
+//!   batch:    batched d-DNNF arena evaluation sweep — per-query vs
+//!             one-traversal throughput, bit-identity guard, and the
+//!             compiled-kernel lowering onto the simulated accelerator
+//!             (predicted vs measured cycles)
 //!   --seed N: seeds the seedable experiments (approx, pipeline,
-//!             compile, serve)
+//!             compile, serve, batch)
 //!   --json:   machine-readable output — native rows for approx,
-//!             compile, and serve, a {"experiment", "text"} wrapper for
+//!             compile, serve, and batch, a {"experiment", "text"} wrapper for
 //!             the table/figure experiments — so sweeps are scriptable
 //! ```
 
@@ -43,7 +47,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: reason-eval <experiment> [tasks] [workers] [--json] [--seed N]\n\
          experiments: fig2 fig3a fig3b fig3c fig3d table2 table3 table4 fig8 fig9 \
-         fig11 fig12 fig13 table5 ablation dse pipeline approx compile serve all"
+         fig11 fig12 fig13 table5 ablation dse pipeline approx compile serve batch all"
     );
     std::process::exit(2);
 }
@@ -109,6 +113,7 @@ fn main() {
             "approx" => Some(experiments::approx(opts.seed)),
             "compile" => Some(experiments::compile_report(opts.seed, opts.baseline_cap)),
             "serve" => Some(experiments::serve(opts.seed)),
+            "batch" => Some(experiments::batch(opts.seed)),
             _ => None,
         }
     };
@@ -120,6 +125,7 @@ fn main() {
             "approx" => Some(experiments::approx_json(opts.seed)),
             "compile" => Some(experiments::compile_json(opts.seed, opts.baseline_cap)),
             "serve" => Some(experiments::serve_json(opts.seed)),
+            "batch" => Some(experiments::batch_json(opts.seed)),
             _ => run(name).map(|text| {
                 Json::Obj(vec![
                     ("experiment".into(), Json::Str(name.into())),
@@ -132,7 +138,7 @@ fn main() {
     let all = [
         "fig2", "fig3a", "fig3b", "fig3c", "fig3d", "table2", "table3", "table4", "fig8", "fig9",
         "fig11", "fig12", "fig13", "table5", "ablation", "dse", "pipeline", "approx", "compile",
-        "serve",
+        "serve", "batch",
     ];
     if which == "all" {
         if opts.json {

@@ -1,0 +1,470 @@
+//! Batched d-DNNF arena evaluation sweep (`reason-eval batch`).
+//!
+//! The experiment behind `reason_pc`'s structure-of-arrays batch
+//! evaluator: across the serving ladder's random 3-SAT knowledge bases
+//! it measures what one shared arena traversal buys over per-query
+//! evaluation — `B` queries answered by a single pass with tight inner
+//! sum/max loops versus `B` separate [`reason_pc::DnnfBuffer`] walks —
+//! and closes the HW/SW loop by lowering each rung's compiled circuit
+//! through `reason-compiler` onto the simulated accelerator:
+//!
+//! 1. a **throughput sweep**: per rung and batch width
+//!    `B ∈ {8, 32, 128}`, best-of-reps wall clock for the per-query
+//!    path against the batched path, with the speedup asserted at the
+//!    top of the ladder (`>= 3x` for `B >= 32`);
+//! 2. a **bit-identity guard**: on every `(rung, B)` cell a mixed
+//!    WMC / marginal / MPE batch (with duplicate lanes) must match the
+//!    single-query answers bit-for-bit — the same contract the serve
+//!    path's `SymbolicStage::ServeBatch` relies on;
+//! 3. an **accelerator round**: the rung's circuit is regularized,
+//!    compiled onto [`reason_arch::ArchConfig::paper`], and executed on
+//!    the cycle-accurate VLIW model; the compiler's analytic no-stall
+//!    bound ([`reason_compiler::CompiledKernel::predicted_cycles`]) is
+//!    reported next to the measured cycles. Rungs whose kernels exceed
+//!    the register file record the overflow instead of a lowering.
+//!
+//! `reason-eval batch --json > BENCH_batch.json` regenerates the
+//! committed baseline.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rand::prelude::*;
+use reason_arch::{ArchConfig, VliwExecutor};
+use reason_compiler::ReasonCompiler;
+use reason_core::{dag_from_circuit, regularize};
+use reason_pc::{BatchBuffer, CompiledWmc, Dnnf, DnnfBatch, DnnfBuffer, Evidence, WmcWeights};
+use reason_sat::gen::random_ksat;
+
+use crate::json::Json;
+
+use super::serve::SERVE_SIZES;
+
+/// Batch widths swept per rung.
+pub const BATCH_LANES: [usize; 3] = [8, 32, 128];
+
+/// Mildly skewed per-variable marginals (the serve sweep's shape, so
+/// both experiments exercise the same artifacts).
+fn batch_weights(num_vars: usize) -> WmcWeights {
+    WmcWeights::new((0..num_vars).map(|v| 0.45 + 0.1 * (v % 2) as f64).collect())
+}
+
+/// One `(knowledge base, batch width)` cell of the throughput sweep.
+#[derive(Debug, Clone)]
+pub struct BatchRow {
+    /// Variable count.
+    pub num_vars: usize,
+    /// Clause count.
+    pub num_clauses: usize,
+    /// Seed the instance was generated from.
+    pub seed: u64,
+    /// Arena nodes.
+    pub nodes: usize,
+    /// Arena edges.
+    pub edges: usize,
+    /// Batch width `B`.
+    pub lanes: usize,
+    /// Best-of-reps seconds answering `B` queries one at a time.
+    pub per_query_s: f64,
+    /// Best-of-reps seconds answering all `B` lanes in one traversal.
+    pub batched_s: f64,
+    /// `per_query_s / batched_s`.
+    pub speedup: f64,
+    /// Mixed WMC/marginal/MPE batch matched per-query answers
+    /// bit-for-bit (including duplicate lanes).
+    pub bit_identical: bool,
+}
+
+/// One rung's accelerator lowering.
+#[derive(Debug, Clone)]
+pub struct AccelRow {
+    /// Variable count.
+    pub num_vars: usize,
+    /// Arena nodes (the circuit the kernel computes).
+    pub nodes: usize,
+    /// Kernel lowered onto the paper design point (false = the register
+    /// file overflowed, recorded gracefully instead of lowering).
+    pub lowered: bool,
+    /// VLIW instructions emitted.
+    pub instructions: usize,
+    /// The compiler's analytic no-stall cycle bound.
+    pub predicted_cycles: u64,
+    /// Cycle-accurate executor measurement.
+    pub measured_cycles: u64,
+}
+
+/// Sweep output: throughput cells plus per-rung lowerings.
+#[derive(Debug, Clone)]
+pub struct BatchSummary {
+    /// `(rung, B)` throughput cells.
+    pub rows: Vec<BatchRow>,
+    /// One lowering attempt per rung.
+    pub accel: Vec<AccelRow>,
+}
+
+/// Mixed evidence batch shaped like serve traffic: empty lanes (WMC /
+/// marginal normalizers), single-variable lanes (marginal numerators),
+/// an occasional three-variable posterior, and every fifth lane
+/// duplicating an earlier one so repeated queries ride the same
+/// traversal.
+fn evidence_batch(n: usize, lanes: usize, rng: &mut StdRng) -> Vec<Evidence> {
+    let mut evs: Vec<Evidence> = Vec::with_capacity(lanes);
+    for i in 0..lanes {
+        if i % 5 == 4 {
+            evs.push(evs[i - 2].clone());
+            continue;
+        }
+        let mut ev = Evidence::empty(n);
+        let observed = match i % 7 {
+            0..=2 => 0,
+            6 => 3,
+            _ => 1,
+        };
+        for _ in 0..observed {
+            ev.set(rng.gen_range(0..n), usize::from(rng.gen_bool(0.5)));
+        }
+        evs.push(ev);
+    }
+    evs
+}
+
+/// The bit-identity guard for one packed batch: WMC on every lane plus
+/// marginal and MPE spot lanes, each against the single-query path.
+fn batch_matches_per_query(
+    arena: &Dnnf,
+    evs: &[Evidence],
+    batch: &DnnfBatch,
+    rng: &mut StdRng,
+) -> bool {
+    let mut sbuf = DnnfBuffer::new();
+    let mut bbuf = BatchBuffer::new();
+    let n = arena.num_vars();
+    let mut ok = true;
+    let wmc = arena.wmc_batch(batch, &mut bbuf);
+    for (ev, got) in evs.iter().zip(&wmc) {
+        ok &= *got == arena.probability(ev, &mut sbuf);
+    }
+    let var = rng.gen_range(0..n);
+    let marginals = arena.marginal_batch(batch, var, &mut bbuf);
+    for (ev, got) in evs.iter().zip(&marginals) {
+        ok &= *got == arena.marginal(ev, var, &mut sbuf);
+    }
+    let mpes = arena.mpe_batch(batch, &mut bbuf);
+    for (ev, got) in evs.iter().zip(&mpes) {
+        let want = arena.mpe(ev, &mut sbuf);
+        ok &= got.assignment == want.assignment && got.log_prob == want.log_prob;
+    }
+    ok
+}
+
+/// Runs the sweep over an explicit ladder and batch widths, taking the
+/// best of `reps` timing repetitions per cell. Each rung walks seeds
+/// until the instance carries mass.
+pub fn batch_rows_for(
+    sizes: &[(usize, usize)],
+    lanes_list: &[usize],
+    reps: usize,
+    seed: u64,
+) -> BatchSummary {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBA7C4);
+    let mut rows = Vec::with_capacity(sizes.len() * lanes_list.len());
+    let mut accel = Vec::with_capacity(sizes.len());
+    let config = ArchConfig::paper();
+    for &(n, m) in sizes {
+        let weights = batch_weights(n);
+        let mut instance_seed = seed;
+        let cnf = loop {
+            let cnf = random_ksat(n, m, 3, instance_seed);
+            if reason_pc::weighted_model_count(&cnf, &weights) > 0.0 {
+                break cnf;
+            }
+            instance_seed += 1;
+        };
+        let oracle = CompiledWmc::new(&cnf, &weights);
+        let circuit = oracle.circuit().expect("probed mass above");
+        let arena = Dnnf::from_circuit(circuit).expect("compiled circuits are binary");
+
+        for &lanes in lanes_list {
+            let evs = evidence_batch(n, lanes, &mut rng);
+            let batch = DnnfBatch::pack(&evs);
+            let mut sbuf = DnnfBuffer::new();
+            let mut bbuf = BatchBuffer::new();
+
+            let mut per_query_s = f64::INFINITY;
+            let mut batched_s = f64::INFINITY;
+            for _ in 0..reps.max(1) {
+                let t0 = Instant::now();
+                for ev in &evs {
+                    std::hint::black_box(arena.log_probability(ev, &mut sbuf));
+                }
+                per_query_s = per_query_s.min(t0.elapsed().as_secs_f64());
+                let t0 = Instant::now();
+                std::hint::black_box(arena.log_probability_batch(&batch, &mut bbuf));
+                batched_s = batched_s.min(t0.elapsed().as_secs_f64());
+            }
+
+            let bit_identical = batch_matches_per_query(&arena, &evs, &batch, &mut rng);
+            assert!(bit_identical, "n={n} B={lanes}: batched answers diverged from per-query");
+            rows.push(BatchRow {
+                num_vars: n,
+                num_clauses: m,
+                seed: instance_seed,
+                nodes: arena.num_nodes(),
+                edges: arena.num_edges(),
+                lanes,
+                per_query_s,
+                batched_s,
+                speedup: per_query_s / batched_s.max(1e-12),
+                bit_identical,
+            });
+        }
+
+        // Accelerator round: lower this rung's circuit onto the paper
+        // design point and report predicted vs measured cycles.
+        let (dag, map) = dag_from_circuit(circuit);
+        let dag = regularize(&dag);
+        match ReasonCompiler::new(config).compile(&dag) {
+            Ok(kernel) => {
+                let inputs = map.inputs_for_evidence(circuit.arities(), &vec![None; n]);
+                let report = VliwExecutor::new(config).execute(&kernel.program(&inputs));
+                let predicted = kernel.predicted_cycles(&config);
+                assert!(
+                    predicted <= report.cycles,
+                    "n={n}: no-stall bound {predicted} exceeds measured {}",
+                    report.cycles
+                );
+                // The lowered kernel computes the same quantity the
+                // arena's empty-evidence lane does: the partition
+                // function.
+                assert!(
+                    (report.output - oracle.wmc()).abs() <= 1e-9 * oracle.wmc().max(1e-30),
+                    "n={n}: accelerator output diverged from CompiledWmc"
+                );
+                accel.push(AccelRow {
+                    num_vars: n,
+                    nodes: arena.num_nodes(),
+                    lowered: true,
+                    instructions: kernel.report.instructions,
+                    predicted_cycles: predicted,
+                    measured_cycles: report.cycles,
+                });
+            }
+            Err(err) => {
+                // Big arenas can exceed the register file; the sweep
+                // records the overflow instead of failing.
+                let _ = err;
+                accel.push(AccelRow {
+                    num_vars: n,
+                    nodes: arena.num_nodes(),
+                    lowered: false,
+                    instructions: 0,
+                    predicted_cycles: 0,
+                    measured_cycles: 0,
+                });
+            }
+        }
+    }
+    BatchSummary { rows, accel }
+}
+
+/// Runs the full ladder ([`SERVE_SIZES`] × [`BATCH_LANES`]) and asserts
+/// the headline: at the top rung, batched evaluation clears `3x` for
+/// some `B >= 32`.
+pub fn batch_summary(seed: u64) -> BatchSummary {
+    let summary = batch_rows_for(&SERVE_SIZES, &BATCH_LANES, 7, seed);
+    let (top_n, _) = *SERVE_SIZES.last().expect("ladder is non-empty");
+    let top = summary
+        .rows
+        .iter()
+        .filter(|r| r.num_vars == top_n && r.lanes >= 32)
+        .map(|r| r.speedup)
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(top >= 3.0, "batched speedup regressed below 3x at n={top_n} for B >= 32: {top:.2}x");
+    assert!(
+        summary.accel.iter().any(|a| a.lowered),
+        "no rung lowered onto the simulated accelerator"
+    );
+    summary
+}
+
+fn rows_to_text(summary: &BatchSummary) -> String {
+    let mut out =
+        String::from("=== reason-pc: batched d-DNNF arena evaluation (seeded random 3-SAT) ===\n");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>8} {:>8} {:>8} {:>6} {:>13} {:>12} {:>9} {:>5}",
+        "vars", "clauses", "nodes", "edges", "B", "per-query us", "batched us", "speedup", "bits"
+    );
+    for r in &summary.rows {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>8} {:>8} {:>8} {:>6} {:>13.2} {:>12.2} {:>8.2}x {:>5}",
+            r.num_vars,
+            r.num_clauses,
+            r.nodes,
+            r.edges,
+            r.lanes,
+            1e6 * r.per_query_s,
+            1e6 * r.batched_s,
+            r.speedup,
+            if r.bit_identical { "yes" } else { "NO" },
+        );
+    }
+    out.push_str("-- accelerator lowering (ArchConfig::paper, cycle-accurate VLIW) --\n");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>8} {:>7} {:>8} {:>11} {:>10} {:>7}",
+        "vars", "nodes", "instrs", "cycles", "predicted", "stalls", "ratio"
+    );
+    for a in &summary.accel {
+        if a.lowered {
+            let _ = writeln!(
+                out,
+                "{:>6} {:>8} {:>7} {:>8} {:>11} {:>10} {:>6.2}x",
+                a.num_vars,
+                a.nodes,
+                a.instructions,
+                a.measured_cycles,
+                a.predicted_cycles,
+                a.measured_cycles - a.predicted_cycles,
+                a.measured_cycles as f64 / a.predicted_cycles.max(1) as f64,
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "{:>6} {:>8} {:>7}",
+                a.num_vars, a.nodes, "register file overflow (not lowered)"
+            );
+        }
+    }
+    let best = summary.rows.iter().map(|r| r.speedup).fold(f64::NEG_INFINITY, f64::max);
+    let _ = writeln!(
+        out,
+        "(speedup = B per-query DnnfBuffer walks / one DnnfBatch traversal, best-of-reps; every \
+         cell cross-checks a mixed WMC/marginal/MPE batch bit-for-bit against single queries — \
+         peak {best:.1}x on this ladder; predicted = the compiler's no-stall bound, measured adds \
+         RAW and bank-conflict stalls)"
+    );
+    out
+}
+
+fn rows_to_json(summary: &BatchSummary, seed: u64) -> Json {
+    Json::Obj(vec![
+        ("experiment".into(), Json::Str("batch".into())),
+        ("seed".into(), Json::Num(seed as f64)),
+        (
+            "rows".into(),
+            Json::Arr(
+                summary
+                    .rows
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("num_vars".into(), Json::Num(r.num_vars as f64)),
+                            ("num_clauses".into(), Json::Num(r.num_clauses as f64)),
+                            ("instance_seed".into(), Json::Num(r.seed as f64)),
+                            ("nodes".into(), Json::Num(r.nodes as f64)),
+                            ("edges".into(), Json::Num(r.edges as f64)),
+                            ("lanes".into(), Json::Num(r.lanes as f64)),
+                            ("per_query_s".into(), Json::Num(r.per_query_s)),
+                            ("batched_s".into(), Json::Num(r.batched_s)),
+                            ("speedup".into(), Json::Num(r.speedup)),
+                            ("bit_identical".into(), Json::Bool(r.bit_identical)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "accelerator".into(),
+            Json::Arr(
+                summary
+                    .accel
+                    .iter()
+                    .map(|a| {
+                        Json::Obj(vec![
+                            ("num_vars".into(), Json::Num(a.num_vars as f64)),
+                            ("nodes".into(), Json::Num(a.nodes as f64)),
+                            ("lowered".into(), Json::Bool(a.lowered)),
+                            ("instructions".into(), Json::Num(a.instructions as f64)),
+                            ("predicted_cycles".into(), Json::Num(a.predicted_cycles as f64)),
+                            ("measured_cycles".into(), Json::Num(a.measured_cycles as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Text report of the batched-evaluation sweep.
+pub fn batch(seed: u64) -> String {
+    rows_to_text(&batch_summary(seed))
+}
+
+/// JSON report of the batched-evaluation sweep (for
+/// `reason-eval batch --json`, the `BENCH_batch.json` generator).
+pub fn batch_json(seed: u64) -> Json {
+    rows_to_json(&batch_summary(seed), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn small_summary() -> BatchSummary {
+        // Cheap rungs and narrow batches for the debug profile; the
+        // 3x assertion only applies to the release-profile full ladder.
+        batch_rows_for(&SERVE_SIZES[..2], &[4, 8], 2, 7)
+    }
+
+    #[test]
+    fn sweep_cells_are_bit_identical_and_lower_onto_the_accelerator() {
+        let summary = small_summary();
+        assert_eq!(summary.rows.len(), 4);
+        for r in &summary.rows {
+            assert!(r.bit_identical);
+            assert!(r.per_query_s > 0.0 && r.batched_s > 0.0);
+            assert!(r.speedup > 0.0);
+        }
+        assert_eq!(summary.accel.len(), 2);
+        for a in &summary.accel {
+            assert!(a.lowered, "small rungs fit the register file");
+            assert!(a.predicted_cycles > 0);
+            assert!(a.predicted_cycles <= a.measured_cycles);
+        }
+    }
+
+    #[test]
+    fn text_report_renders_every_cell() {
+        let summary = small_summary();
+        let text = rows_to_text(&summary);
+        assert!(text.contains("batched d-DNNF arena evaluation"));
+        assert!(text.contains("accelerator lowering"));
+        for r in &summary.rows {
+            assert!(
+                text.contains(&format!("{:>6} {:>8} {:>8}", r.num_vars, r.num_clauses, r.nodes))
+            );
+        }
+    }
+
+    #[test]
+    fn json_output_parses_and_carries_the_sweep() {
+        let text = rows_to_json(&small_summary(), 7).render();
+        let parsed = json::parse(&text).expect("sweep JSON must parse");
+        assert_eq!(parsed.get("experiment").unwrap().as_str(), Some("batch"));
+        let rows = parsed.get("rows").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 4);
+        for row in rows {
+            assert!(row.get("speedup").unwrap().as_f64().is_some());
+            assert_eq!(row.get("bit_identical").unwrap().as_bool(), Some(true));
+        }
+        let accel = parsed.get("accelerator").unwrap().as_arr().unwrap();
+        assert_eq!(accel.len(), 2);
+        for a in accel {
+            assert_eq!(a.get("lowered").unwrap().as_bool(), Some(true));
+            assert!(a.get("predicted_cycles").unwrap().as_f64().unwrap() > 0.0);
+        }
+    }
+}

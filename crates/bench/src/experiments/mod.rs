@@ -4,10 +4,14 @@
 //! values, so printed-vs-paper comparison needs no external record.
 
 pub mod approx;
+pub mod batch;
 pub mod compile;
 pub mod serve;
 
 pub use approx::{approx, approx_json, approx_rows, approx_rows_for, ApproxRow, SWEEP_SIZES};
+pub use batch::{
+    batch, batch_json, batch_rows_for, batch_summary, AccelRow, BatchRow, BATCH_LANES,
+};
 pub use compile::{
     compile_json, compile_report, compile_rows, CompileRow, COMPARE_SIZES, EXTENDED_SIZES,
 };

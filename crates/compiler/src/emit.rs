@@ -55,6 +55,29 @@ impl CompiledKernel {
         self.input_slots.iter().map(|&(s, _)| s as usize + 1).max().unwrap_or(0)
     }
 
+    /// Analytic no-stall cycle bound for this kernel on `config`.
+    ///
+    /// Models the executor's ideal schedule: instructions issue
+    /// round-robin across the tree PEs one cycle apart, the pipeline
+    /// drains once at the end, and a non-reconfigurable datapath pays
+    /// its mode-configuration penalty up front. The cycle-accurate
+    /// [`reason_arch::VliwExecutor`] can only *add* RAW-hazard and
+    /// bank-conflict stalls on top of that schedule (its VLIW timing is
+    /// data-independent otherwise), so for every input binding
+    /// `predicted_cycles(config) <= ExecutionReport::cycles`, with
+    /// equality exactly when nothing stalls.
+    pub fn predicted_cycles(&self, config: &ArchConfig) -> u64 {
+        let pipeline_depth = config.pipeline_depth() as u64;
+        let reconfig = if config.ablation.reconfigurable {
+            0
+        } else {
+            2 * pipeline_depth + config.total_nodes() as u64
+        };
+        let n = self.template.instructions.len() as u64;
+        let pes = config.num_pes.max(1) as u64;
+        reconfig + n.div_ceil(pes) + pipeline_depth
+    }
+
     /// Binds input values (indexed by slot) into an executable program.
     ///
     /// # Panics
@@ -317,6 +340,52 @@ mod tests {
         // And still compute correctly: 200 NOTs = identity.
         let report = VliwExecutor::new(config).execute(&kernel.program(&[1.0]));
         assert_eq!(report.output, 1.0);
+    }
+
+    #[test]
+    fn predicted_cycles_lower_bound_the_executor() {
+        let config = ArchConfig::paper();
+        let cnf = random_ksat(10, 40, 3, 8);
+        let (dag, _) = dag_from_cnf(&cnf);
+        let dag = regularize(&dag);
+        let kernel = ReasonCompiler::new(config).compile(&dag).unwrap();
+        let predicted = kernel.predicted_cycles(&config);
+        assert!(predicted > 0);
+        let exec = VliwExecutor::new(config);
+        for bits in [0u32, 0b1010101010, 0b1111111111] {
+            let inputs: Vec<f64> = (0..10).map(|v| f64::from(bits >> v & 1)).collect();
+            let report = exec.execute(&kernel.program(&inputs));
+            assert!(
+                predicted <= report.cycles,
+                "no-stall bound {predicted} exceeds measured {} cycles",
+                report.cycles
+            );
+        }
+
+        // A non-reconfigurable datapath pays its setup penalty in the
+        // bound too, and stays a lower bound.
+        let mut fixed = config;
+        fixed.ablation.reconfigurable = false;
+        let fixed_kernel = ReasonCompiler::new(fixed).compile(&dag).unwrap();
+        let fixed_predicted = fixed_kernel.predicted_cycles(&fixed);
+        assert!(fixed_predicted > predicted);
+        let report = VliwExecutor::new(fixed).execute(&fixed_kernel.program(&[1.0; 10]));
+        assert!(fixed_predicted <= report.cycles);
+    }
+
+    #[test]
+    fn predicted_cycles_exact_on_stall_free_kernels() {
+        // A single-instruction kernel cannot stall: the bound is tight.
+        let mut b = reason_core::DagBuilder::new();
+        let x = b.input(0);
+        let y = b.input(1);
+        let sum = b.node(DagOp::Add, vec![x, y], reason_core::NodeKind::Generic);
+        let dag = b.build(sum).unwrap();
+        let config = ArchConfig::paper();
+        let kernel = ReasonCompiler::new(config).compile(&dag).unwrap();
+        let report = VliwExecutor::new(config).execute(&kernel.program(&[2.0, 3.0]));
+        assert_eq!(report.output, 5.0);
+        assert_eq!(kernel.predicted_cycles(&config), report.cycles);
     }
 
     #[test]

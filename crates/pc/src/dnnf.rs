@@ -29,6 +29,7 @@
 //! assert_eq!(z, circuit.probability(&Evidence::empty(2)));
 //! ```
 
+use std::collections::HashMap;
 use std::fmt;
 
 use crate::circuit::{Circuit, PcNode};
@@ -102,6 +103,146 @@ impl DnnfBuffer {
     /// An empty buffer; the first query sizes it.
     pub fn new() -> Self {
         DnnfBuffer::default()
+    }
+}
+
+/// Evidence code for a marginalized (unobserved) variable in a
+/// [`DnnfBatch`] lane; observed lanes store the value itself (0 or 1).
+const MARGINALIZED: u8 = 2;
+
+/// A batch of B evidence lanes packed structure-of-arrays: one byte per
+/// `(variable, lane)` pair, variable-major, so a batched traversal reads
+/// each variable's codes as one contiguous run. This is the weight
+/// slab the batched evaluators ([`Dnnf::wmc_batch`],
+/// [`Dnnf::marginal_batch`], [`Dnnf::mpe_batch`]) consume: B queries
+/// against one arena become a single traversal with tight inner loops
+/// over lanes, answers bit-identical per lane to the single-query
+/// [`DnnfBuffer`] path.
+///
+/// Duplicate queries collapse at pack time: identical evidence columns
+/// share one *storage* lane, evaluated once, and the answers fan back
+/// out to every query lane when results are emitted. Serve batches
+/// grouped by formula fingerprint routinely repeat the same posterior
+/// or marginal, so the slab (and the traversal) only pays for the
+/// distinct columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnnfBatch {
+    num_vars: usize,
+    /// Distinct storage lanes actually evaluated.
+    lanes: usize,
+    /// `codes[var * lanes + lane]`: 0/1 for an observed value,
+    /// [`MARGINALIZED`] for an unobserved variable (storage lanes).
+    codes: Vec<u8>,
+    /// Query lane -> storage lane.
+    expand: Vec<u32>,
+}
+
+impl DnnfBatch {
+    /// Packs evidence lanes into a slab, collapsing duplicate columns.
+    /// Lane `k` of every batched answer corresponds to `evidences[k]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `evidences` is empty or the lanes disagree on arity.
+    pub fn pack(evidences: &[Evidence]) -> Self {
+        assert!(!evidences.is_empty(), "a batch needs at least one lane");
+        let num_vars = evidences[0].len();
+        let mut index: HashMap<Vec<u8>, u32> = HashMap::new();
+        let mut columns: Vec<Vec<u8>> = Vec::new();
+        let mut expand = Vec::with_capacity(evidences.len());
+        for (lane, ev) in evidences.iter().enumerate() {
+            assert_eq!(ev.len(), num_vars, "lane {lane} arity mismatch");
+            let col: Vec<u8> =
+                (0..num_vars).map(|var| ev.value(var).map_or(MARGINALIZED, |v| v as u8)).collect();
+            let id = match index.get(&col) {
+                Some(&id) => id,
+                None => {
+                    let id = columns.len() as u32;
+                    index.insert(col.clone(), id);
+                    columns.push(col);
+                    id
+                }
+            };
+            expand.push(id);
+        }
+        let lanes = columns.len();
+        let mut codes = vec![MARGINALIZED; num_vars * lanes];
+        for (lane, col) in columns.iter().enumerate() {
+            for (var, &c) in col.iter().enumerate() {
+                codes[var * lanes + lane] = c;
+            }
+        }
+        DnnfBatch { num_vars, lanes, codes, expand }
+    }
+
+    /// Number of query lanes B (the length of every batched answer).
+    pub fn lanes(&self) -> usize {
+        self.expand.len()
+    }
+
+    /// Distinct evidence columns the traversal actually evaluates
+    /// (`<= lanes()`; duplicates share a storage lane).
+    pub fn distinct_lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Number of variables in the universe.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The evidence value of `var` in query lane `lane` (`None` =
+    /// marginalized).
+    pub fn value(&self, var: usize, lane: usize) -> Option<usize> {
+        match self.codes[var * self.lanes + self.expand[lane] as usize] {
+            MARGINALIZED => None,
+            v => Some(v as usize),
+        }
+    }
+
+    /// Fans a per-storage-lane result vector back out to query lanes.
+    fn fan_out<T: Clone>(&self, per_storage: &[T]) -> Vec<T> {
+        self.expand.iter().map(|&u| per_storage[u as usize].clone()).collect()
+    }
+
+    /// The evidence value of `var` in *storage* lane `lane` (`None` =
+    /// marginalized) — for evaluators walking distinct columns.
+    fn storage_value(&self, var: usize, lane: usize) -> Option<usize> {
+        match self.codes[var * self.lanes + lane] {
+            MARGINALIZED => None,
+            v => Some(v as usize),
+        }
+    }
+
+    /// Overwrites `var`'s code in every storage lane (the batched
+    /// analogue of `Evidence::set`/`clear` across the whole batch).
+    fn set_all(&mut self, var: usize, code: u8) {
+        self.codes[var * self.lanes..(var + 1) * self.lanes].fill(code);
+    }
+
+    /// The contiguous code run of one variable (storage lanes).
+    fn var_codes(&self, var: usize) -> &[u8] {
+        &self.codes[var * self.lanes..(var + 1) * self.lanes]
+    }
+}
+
+/// Reusable scratch space for batched arena evaluation: the node-value
+/// slab (`nodes × lanes`, node-major chunks), the per-node argmax slab
+/// for MPE, and a lane-wide accumulator for the log-sum-exp second
+/// pass. One buffer per worker thread makes every batch after the first
+/// allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct BatchBuffer {
+    vals: Vec<f64>,
+    arg: Vec<u32>,
+    acc: Vec<f64>,
+    stack: Vec<u32>,
+}
+
+impl BatchBuffer {
+    /// An empty buffer; the first batch sizes it.
+    pub fn new() -> Self {
+        BatchBuffer::default()
     }
 }
 
@@ -327,6 +468,293 @@ impl Dnnf {
         }
         MpeResult { assignment, log_prob: vals[self.root as usize] }
     }
+
+    /// Batched log-probabilities: one arena traversal evaluates every
+    /// lane of `batch`, returning `log Pr[φ ∧ e_k]` per lane.
+    ///
+    /// Per lane this performs *exactly* the floating-point operation
+    /// sequence of [`log_probability`](Self::log_probability) — same
+    /// child order, same two-pass inline log-sum-exp — so each lane's
+    /// answer is bit-identical to the single-query path. The batch only
+    /// amortizes node decode, edge indexing, and memory traffic over B
+    /// lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch.num_vars() != self.num_vars()`.
+    pub fn log_probability_batch(&self, batch: &DnnfBatch, buf: &mut BatchBuffer) -> Vec<f64> {
+        assert_eq!(batch.num_vars, self.num_vars, "batch arity mismatch");
+        let l = batch.lanes;
+        // No clear: every node chunk is fully written before it is read
+        // (children precede parents in the arena).
+        buf.vals.resize(self.nodes.len() * l, 0.0);
+        buf.acc.resize(l, 0.0);
+        for (i, node) in self.nodes.iter().enumerate() {
+            let base = i * l;
+            // Children precede their parent, so the read side (child
+            // chunks) and write side (this node's chunk) never overlap.
+            let (lo, hi) = buf.vals.split_at_mut(base);
+            let out = &mut hi[..l];
+            match *node {
+                Node::Indicator { var, value } => {
+                    // Branchless decode: value-match → 0, mismatch →
+                    // -inf, marginalized → 0 (Σ_v [v = value] = 1).
+                    let hit = [0.0, f64::NEG_INFINITY];
+                    let table = [hit[usize::from(value)], hit[usize::from(!value)], 0.0];
+                    for (o, &c) in out.iter_mut().zip(batch.var_codes(var as usize)) {
+                        *o = table[c as usize];
+                    }
+                }
+                Node::Leaf { var, log_p } => {
+                    let table = [log_p[0], log_p[1], 0.0];
+                    for (o, &c) in out.iter_mut().zip(batch.var_codes(var as usize)) {
+                        *o = table[c as usize];
+                    }
+                }
+                Node::And { start, len: 2 } => {
+                    // Fused two-child product: one pass, both children
+                    // in registers. The explicit `0.0 +` start keeps the
+                    // fold order (and -0.0 behavior) of the generic
+                    // `.sum()` below, so answers stay bit-identical.
+                    let s = start as usize;
+                    let (c0, c1) = (self.edges[s] as usize * l, self.edges[s + 1] as usize * l);
+                    let (ca, cb) = (&lo[c0..c0 + l], &lo[c1..c1 + l]);
+                    for ((o, &x), &y) in out.iter_mut().zip(ca).zip(cb) {
+                        *o = (0.0 + x) + y;
+                    }
+                }
+                Node::And { start, len } => {
+                    let (s, e) = (start as usize, (start + len) as usize);
+                    out.fill(0.0);
+                    for &c in &self.edges[s..e] {
+                        let child = &lo[c as usize * l..c as usize * l + l];
+                        for (o, &v) in out.iter_mut().zip(child) {
+                            *o += v;
+                        }
+                    }
+                }
+                Node::Or { start, len: 2 } => {
+                    // Fused two-child log-sum-exp: the dominant shape
+                    // (the compiler emits binary decision nodes). Both
+                    // passes of the generic path collapse into one loop
+                    // with the children held in registers; every
+                    // floating-point step keeps the generic path's
+                    // order, so answers stay bit-identical. `exp` is
+                    // skipped where the argument is exactly 0.0 or -inf
+                    // (`exp(0) = 1`, `exp(-inf) = 0` exactly in IEEE
+                    // 754), which halves the transcendental count: the
+                    // argmax child always contributes exactly 1.
+                    let s = start as usize;
+                    let (c0, c1) = (self.edges[s] as usize * l, self.edges[s + 1] as usize * l);
+                    let (lw0, lw1) = (self.edge_log_weights[s], self.edge_log_weights[s + 1]);
+                    let (ca, cb) = (&lo[c0..c0 + l], &lo[c1..c1 + l]);
+                    for ((o, &x), &y) in out.iter_mut().zip(ca).zip(cb) {
+                        let a = lw0 + x;
+                        let b = lw1 + y;
+                        let m = f64::max(f64::max(f64::NEG_INFINITY, a), b);
+                        if m == f64::NEG_INFINITY {
+                            *o = f64::NEG_INFINITY;
+                        } else {
+                            let fexp = |x: f64| {
+                                if x == 0.0 {
+                                    1.0
+                                } else if x == f64::NEG_INFINITY {
+                                    0.0
+                                } else {
+                                    x.exp()
+                                }
+                            };
+                            let total = (0.0 + fexp(a - m)) + fexp(b - m);
+                            // `ln(1.0)` is exactly +0.0: skip the call
+                            // without changing the sum. A total of
+                            // exactly 1 is common on deterministic
+                            // nodes with a single live child.
+                            *o = m + if total == 1.0 { 0.0 } else { total.ln() };
+                        }
+                    }
+                }
+                Node::Or { start, len } => {
+                    let (s, e) = (start as usize, (start + len) as usize);
+                    // Pass 1: the running max lands in the node chunk.
+                    out.fill(f64::NEG_INFINITY);
+                    for (&c, &lw) in self.edges[s..e].iter().zip(&self.edge_log_weights[s..e]) {
+                        let child = &lo[c as usize * l..c as usize * l + l];
+                        for (o, &v) in out.iter_mut().zip(child) {
+                            *o = f64::max(*o, lw + v);
+                        }
+                    }
+                    // Pass 2: exp-sum against the max. Lanes whose max is
+                    // -inf produce NaN partials here; they are discarded
+                    // below, matching the single-query early-out. The
+                    // same exact-identity `exp` skips as the fused
+                    // binary path apply.
+                    buf.acc.fill(0.0);
+                    for (&c, &lw) in self.edges[s..e].iter().zip(&self.edge_log_weights[s..e]) {
+                        let child = &lo[c as usize * l..c as usize * l + l];
+                        for ((a, &v), &m) in buf.acc.iter_mut().zip(child).zip(out.iter()) {
+                            let x = lw + v - m;
+                            *a += if x == 0.0 {
+                                1.0
+                            } else if x == f64::NEG_INFINITY {
+                                0.0
+                            } else {
+                                x.exp()
+                            };
+                        }
+                    }
+                    for (o, &t) in out.iter_mut().zip(&buf.acc) {
+                        if *o != f64::NEG_INFINITY {
+                            *o += if t == 1.0 { 0.0 } else { t.ln() };
+                        }
+                    }
+                }
+            }
+        }
+        let root = self.root as usize * l;
+        batch.fan_out(&buf.vals[root..root + l])
+    }
+
+    /// Batched weighted model counts / evidence probabilities (linear
+    /// space): `Pr[φ ∧ e_k]` per lane, bit-identical per lane to
+    /// [`probability`](Self::probability).
+    pub fn wmc_batch(&self, batch: &DnnfBatch, buf: &mut BatchBuffer) -> Vec<f64> {
+        self.log_probability_batch(batch, buf).into_iter().map(f64::exp).collect()
+    }
+
+    /// Batched marginal distributions of `var`: three traversals (the
+    /// cleared normalizer, then `var = 0`, `var = 1`) answer every lane,
+    /// mirroring [`marginal`](Self::marginal) lane-for-lane (including
+    /// the uniform fallback for zero-probability evidence).
+    pub fn marginal_batch(
+        &self,
+        batch: &DnnfBatch,
+        var: usize,
+        buf: &mut BatchBuffer,
+    ) -> Vec<Vec<f64>> {
+        let mut ev = batch.clone();
+        ev.set_all(var, MARGINALIZED);
+        let log_z = self.log_probability_batch(&ev, buf);
+        ev.set_all(var, 0);
+        let p0 = self.log_probability_batch(&ev, buf);
+        ev.set_all(var, 1);
+        let p1 = self.log_probability_batch(&ev, buf);
+        log_z
+            .iter()
+            .zip(p0.iter().zip(&p1))
+            .map(|(&z, (&a, &b))| {
+                if z == f64::NEG_INFINITY {
+                    vec![0.5; 2]
+                } else {
+                    vec![(a - z).exp(), (b - z).exp()]
+                }
+            })
+            .collect()
+    }
+
+    /// Batched most-probable explanations: one max-product up-pass over
+    /// all lanes plus a per-lane downward trace, mirroring
+    /// [`mpe`](Self::mpe) lane-for-lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch.num_vars() != self.num_vars()`.
+    pub fn mpe_batch(&self, batch: &DnnfBatch, buf: &mut BatchBuffer) -> Vec<MpeResult> {
+        assert_eq!(batch.num_vars, self.num_vars, "batch arity mismatch");
+        let l = batch.lanes;
+        let n = self.nodes.len();
+        buf.vals.resize(n * l, 0.0);
+        buf.arg.resize(n * l, 0);
+        for (i, node) in self.nodes.iter().enumerate() {
+            let base = i * l;
+            let (lo, hi) = buf.vals.split_at_mut(base);
+            let out = &mut hi[..l];
+            match *node {
+                Node::Indicator { var, value } => {
+                    for (o, &c) in out.iter_mut().zip(batch.var_codes(var as usize)) {
+                        *o = if c == MARGINALIZED || (c == 1) == value {
+                            0.0
+                        } else {
+                            f64::NEG_INFINITY
+                        };
+                    }
+                }
+                Node::Leaf { var, log_p } => {
+                    for (o, &c) in out.iter_mut().zip(batch.var_codes(var as usize)) {
+                        *o = if c == MARGINALIZED {
+                            log_p[0].max(log_p[1])
+                        } else {
+                            log_p[c as usize]
+                        };
+                    }
+                }
+                Node::And { start, len } => {
+                    let (s, e) = (start as usize, (start + len) as usize);
+                    out.fill(0.0);
+                    for &c in &self.edges[s..e] {
+                        let child = &lo[c as usize * l..c as usize * l + l];
+                        for (o, &v) in out.iter_mut().zip(child) {
+                            *o += v;
+                        }
+                    }
+                }
+                Node::Or { start, len } => {
+                    let (s, e) = (start as usize, (start + len) as usize);
+                    let args = &mut buf.arg[base..base + l];
+                    out.fill(f64::NEG_INFINITY);
+                    args.fill(0);
+                    // Same strict-`>` argmax fold as the single-query
+                    // path: ties keep the earliest child.
+                    for (k, (&c, &lw)) in
+                        self.edges[s..e].iter().zip(&self.edge_log_weights[s..e]).enumerate()
+                    {
+                        let child = &lo[c as usize * l..c as usize * l + l];
+                        for ((o, a), &v) in out.iter_mut().zip(args.iter_mut()).zip(child) {
+                            let x = lw + v;
+                            if x > *o {
+                                *o = x;
+                                *a = k as u32;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Per-storage-lane downward trace selecting one child per
+        // disjunction; duplicate query lanes share the traced result.
+        let (vals, arg, stack) = (&buf.vals, &buf.arg, &mut buf.stack);
+        let per_storage: Vec<MpeResult> = (0..l)
+            .map(|lane| {
+                let mut assignment: Vec<usize> =
+                    (0..self.num_vars).map(|v| batch.storage_value(v, lane).unwrap_or(0)).collect();
+                stack.clear();
+                stack.push(self.root);
+                while let Some(id) = stack.pop() {
+                    match self.nodes[id as usize] {
+                        Node::Indicator { var, value } => {
+                            if batch.storage_value(var as usize, lane).is_none() {
+                                assignment[var as usize] = usize::from(value);
+                            }
+                        }
+                        Node::Leaf { var, log_p } => {
+                            if batch.storage_value(var as usize, lane).is_none() {
+                                assignment[var as usize] = usize::from(log_p[1] > log_p[0]);
+                            }
+                        }
+                        Node::And { start, len } => {
+                            let (s, e) = (start as usize, (start + len) as usize);
+                            stack.extend(self.edges[s..e].iter().copied());
+                        }
+                        Node::Or { start, .. } => {
+                            let k = arg[id as usize * l + lane];
+                            stack.push(self.edges[(start + k) as usize]);
+                        }
+                    }
+                }
+                MpeResult { assignment, log_prob: vals[self.root as usize * l + lane] }
+            })
+            .collect();
+        batch.fan_out(&per_storage)
+    }
 }
 
 #[cfg(test)]
@@ -408,6 +836,102 @@ mod tests {
         let leaf = b.categorical(0, &[0.2, 0.3, 0.5]);
         let c = b.build(leaf).unwrap();
         assert_eq!(Dnnf::from_circuit(&c), Err(DnnfError::NonBinaryVariable { var: 0, arity: 3 }));
+    }
+
+    /// A mixed evidence workload over `n` binary variables: the empty
+    /// evidence, full assignments, partial patterns, and a duplicate of
+    /// lane 0 (batches must tolerate repeated queries).
+    fn lanes(n: usize) -> Vec<Evidence> {
+        let mut lanes = vec![Evidence::empty(n)];
+        for bits in [0u32, 5, 42, 999] {
+            let values: Vec<usize> = (0..n).map(|v| (bits >> (v % 10) & 1) as usize).collect();
+            lanes.push(Evidence::from_assignment(&values));
+        }
+        let mut partial = Evidence::empty(n);
+        partial.set(0, 1).set(n - 1, 0);
+        lanes.push(partial);
+        lanes.push(lanes[0].clone());
+        lanes
+    }
+
+    #[test]
+    fn batched_log_probability_is_bit_identical_per_lane() {
+        let mut checked = 0;
+        for seed in 0..12 {
+            let Some((_, arena)) = compiled(seed, 10, 26) else { continue };
+            let lanes = lanes(10);
+            let batch = DnnfBatch::pack(&lanes);
+            let mut sbuf = DnnfBuffer::new();
+            let mut bbuf = BatchBuffer::new();
+            let got = arena.log_probability_batch(&batch, &mut bbuf);
+            assert_eq!(got.len(), lanes.len());
+            for (lane, ev) in lanes.iter().enumerate() {
+                let single = arena.log_probability(ev, &mut sbuf);
+                assert!(
+                    single.to_bits() == got[lane].to_bits(),
+                    "seed {seed} lane {lane}: single {single} vs batched {}",
+                    got[lane]
+                );
+            }
+            // Linear space goes through the same exp.
+            let probs = arena.wmc_batch(&batch, &mut bbuf);
+            for (lane, ev) in lanes.iter().enumerate() {
+                assert_eq!(probs[lane].to_bits(), arena.probability(ev, &mut sbuf).to_bits());
+            }
+            checked += 1;
+        }
+        assert!(checked > 0, "at least one satisfiable instance must be checked");
+    }
+
+    #[test]
+    fn batched_marginal_and_mpe_match_single_query_lane_for_lane() {
+        let (_, arena) = compiled(3, 9, 22).expect("seed 3 is satisfiable");
+        let lanes = lanes(9);
+        let batch = DnnfBatch::pack(&lanes);
+        let mut sbuf = DnnfBuffer::new();
+        let mut bbuf = BatchBuffer::new();
+        for var in [0, 4, 8] {
+            let dists = arena.marginal_batch(&batch, var, &mut bbuf);
+            for (lane, ev) in lanes.iter().enumerate() {
+                assert_eq!(
+                    dists[lane],
+                    arena.marginal(ev, var, &mut sbuf),
+                    "var {var} lane {lane}"
+                );
+            }
+        }
+        let results = arena.mpe_batch(&batch, &mut bbuf);
+        for (lane, ev) in lanes.iter().enumerate() {
+            let single = arena.mpe(ev, &mut sbuf);
+            assert_eq!(results[lane].assignment, single.assignment, "lane {lane}");
+            assert_eq!(results[lane].log_prob.to_bits(), single.log_prob.to_bits(), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn batch_packing_round_trips_evidence() {
+        let lanes = lanes(8);
+        let batch = DnnfBatch::pack(&lanes);
+        assert_eq!(batch.lanes(), lanes.len());
+        assert_eq!(batch.num_vars(), 8);
+        for (lane, ev) in lanes.iter().enumerate() {
+            for var in 0..8 {
+                assert_eq!(batch.value(var, lane), ev.value(var));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_buffer_reuse_is_stable_across_batches_of_different_widths() {
+        let (_, arena) = compiled(5, 8, 20).expect("seed 5 is satisfiable");
+        let mut buf = BatchBuffer::new();
+        let wide = DnnfBatch::pack(&lanes(8));
+        let first = arena.wmc_batch(&wide, &mut buf);
+        // A narrower batch in between must not leak state into a rerun.
+        let narrow = DnnfBatch::pack(&[Evidence::empty(8)]);
+        let _ = arena.mpe_batch(&narrow, &mut buf);
+        let again = arena.wmc_batch(&wide, &mut buf);
+        assert_eq!(first, again, "a reused buffer must not leak state between batches");
     }
 
     #[test]

@@ -1,15 +1,18 @@
-//! Canonical formula fingerprints — the circuit store's keys.
+//! Canonical formula fingerprints — keys for compiled artifacts.
 //!
 //! A [`FormulaFingerprint`] identifies *exactly* the input the compiler
 //! saw: the variable universe, the clause list (literals sorted within
-//! each clause — the canonical presentation [`crate::KnowledgeBase`]
+//! each clause — the canonical presentation a serving knowledge base
 //! maintains), and the bit patterns of the per-variable weights.
 //! Fingerprints are compared structurally (no hash-collision risk for
 //! store lookups); the 64-bit digest is a display/telemetry handle.
+//! `reason-serve`'s circuit store keys its entries by fingerprint, and
+//! the batch executor groups same-formula exact-WMC tasks by it so one
+//! compilation and one batched arena traversal serve the whole group.
 
 use std::fmt;
 
-use reason_pc::WmcWeights;
+use crate::compile::WmcWeights;
 use reason_sat::{Clause, Cnf};
 
 /// An exact, order-preserving fingerprint of `(formula, weights)`.

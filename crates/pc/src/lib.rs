@@ -60,6 +60,7 @@
 pub mod circuit;
 pub mod compile;
 pub mod dnnf;
+pub mod fingerprint;
 pub mod flows;
 pub mod infer;
 pub mod prune;
@@ -72,7 +73,8 @@ pub use compile::{
     weighted_model_count, CompileConfig, CompileStats, CompiledWmc, PersistentCacheStats,
     PersistentComponentCache, VarOrder, WmcWeights,
 };
-pub use dnnf::{Dnnf, DnnfBuffer, DnnfError};
+pub use dnnf::{BatchBuffer, Dnnf, DnnfBatch, DnnfBuffer, DnnfError};
+pub use fingerprint::FormulaFingerprint;
 pub use flows::{dataset_flows, em_step, EdgeFlows};
 pub use infer::{EvalBuffer, Evidence, MpeResult};
 pub use prune::{prune_by_flow, PruneReport};

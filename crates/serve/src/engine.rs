@@ -5,11 +5,11 @@
 //! knowledge base once ([`ServeEngine::register`]), then throw batches
 //! of [`Query`]s at it. The first query pays one compilation; every
 //! later query is answered from the [`CircuitStore`]'s hot artifact —
-//! the d-DNNF arena for the single-query fast path
-//! ([`ServeEngine::query`]), a shared [`CompiledWmc`] oracle behind an
-//! `Arc` for the batch path ([`ServeEngine::serve`]), which executes
-//! through `reason_system::BatchExecutor` so serving inherits the
-//! threaded lanes.
+//! the shared d-DNNF arena, walked once per query on the single-query
+//! fast path ([`ServeEngine::query`]) and once per *batch* on the batch
+//! path ([`ServeEngine::serve`]), where every exact-routed query
+//! becomes one lane of a single `ServeBatch` executor task answered by
+//! the batched arena kernels.
 //!
 //! Each batch query is admitted by the [`QueryRouter`]: exact compiled
 //! evaluation when the deadline allows, anytime Monte-Carlo bounds with
@@ -137,7 +137,11 @@ pub struct ServeReport {
 
 /// How one query maps onto executor tasks.
 enum Plan {
-    /// Exact or plain-approximate: one task, answer from its verdict.
+    /// Exact: one lane of the batch's shared `ServeBatch` task — every
+    /// exact-routed query in the batch rides the same task, answered in
+    /// one batched arena traversal per kernel.
+    Batch { task: usize, lane: usize, route: Route },
+    /// Plain-approximate: one task, answer from its verdict.
     Single { task: usize, route: Route },
     /// Approximate posterior with no trusted normalizer: a joint-mass
     /// task plus a base-mass task, combined conservatively.
@@ -312,9 +316,10 @@ impl ServeEngine {
     }
 
     /// Serves a batch: routes every query, executes the admitted tasks
-    /// through the threaded `BatchExecutor` (exact queries share one
-    /// `Arc<CompiledWmc>` across the symbolic workers), and feeds the
-    /// measured latencies back into the router's telemetry.
+    /// through the threaded `BatchExecutor` (exact queries become lanes
+    /// of one batched-arena task sharing a single traversal per
+    /// kernel), and feeds the measured latencies back into the router's
+    /// telemetry.
     ///
     /// # Errors
     ///
@@ -345,18 +350,44 @@ impl ServeEngine {
 
         let mut tasks: Vec<BatchTask> = Vec::new();
         let mut plans: Vec<Plan> = Vec::with_capacity(queries.len());
+
+        // Every exact-routed query in the batch becomes one lane of a
+        // single `ServeBatch` task over the stored arena: the executor
+        // answers the whole group in one batched traversal per kernel
+        // instead of re-walking the arena per query. Lane answers are
+        // bit-identical to the per-query path, so batching is invisible
+        // to callers except in latency.
+        let exact_lanes: Vec<ServeQuery> = queries
+            .iter()
+            .zip(&routes)
+            .filter(|(_, r)| matches!(r, Route::Exact))
+            .map(|(q, _)| to_serve_query(&q.kind))
+            .collect();
+        let exact_task = (!exact_lanes.is_empty()).then(|| {
+            let stored = self
+                .store
+                .peek(&entry.kb.fingerprint())
+                .expect("exact routes are compiled and hot");
+            tasks.push(BatchTask {
+                name: "exact-batch".into(),
+                neural: NeuralStage::Synthetic { duration: Duration::ZERO },
+                symbolic: SymbolicStage::ServeBatch {
+                    arena: Arc::clone(&stored.dnnf),
+                    z: stored.z,
+                    queries: exact_lanes,
+                },
+            });
+            tasks.len() - 1
+        });
+        let mut exact_lane = 0usize;
+
         for (qi, (query, route)) in queries.iter().zip(&routes).enumerate() {
             let seed = self.config.approx_seed ^ (self.served << 20) ^ qi as u64;
             match route {
                 Route::Exact => {
-                    let oracle =
-                        Arc::clone(entry.oracle.as_ref().expect("exact routes are compiled"));
-                    let task = push_task(
-                        &mut tasks,
-                        qi,
-                        SymbolicStage::Serve { oracle, query: to_serve_query(&query.kind) },
-                    );
-                    plans.push(Plan::Single { task, route: *route });
+                    let task = exact_task.expect("exact routes share the batch task");
+                    plans.push(Plan::Batch { task, lane: exact_lane, route: *route });
+                    exact_lane += 1;
                 }
                 Route::Approx { samples } => {
                     let stage = |cnf: Cnf, samples: u64, seed: u64| SymbolicStage::Approx {
@@ -448,15 +479,24 @@ impl ServeEngine {
         let report = BatchExecutor::new(self.config.executor).run(&tasks);
         self.served += queries.len() as u64;
 
-        // Feed measured latencies back into the telemetry.
+        // Feed measured latencies back into the telemetry. The exact
+        // lanes share one batched task, so its measured duration is
+        // spread over the batch's total arena evaluations: every exact
+        // query contributes the same per-eval latency sample, keeping
+        // the EWMA cadence of the per-task path.
+        let batch_evals: f64 = plans
+            .iter()
+            .zip(queries)
+            .filter(|(plan, _)| matches!(plan, Plan::Batch { .. }))
+            .map(|(_, q)| q.kind.exact_evals())
+            .sum();
         {
             let entry = &mut self.kbs[id.0];
-            for (plan, query) in plans.iter().zip(queries) {
+            for plan in &plans {
                 match plan {
-                    Plan::Single { task, route: Route::Exact } => {
+                    Plan::Batch { task, route: Route::Exact, .. } => {
                         let dt = report.results[*task].symbolic_s;
-                        entry.telemetry.eval_s =
-                            ewma(entry.telemetry.eval_s, dt / query.kind.exact_evals());
+                        entry.telemetry.eval_s = ewma(entry.telemetry.eval_s, dt / batch_evals);
                     }
                     Plan::Single { task, route: Route::Approx { samples } }
                     | Plan::ApproxOverZ { joint: task, route: Route::Approx { samples }, .. } => {
@@ -513,7 +553,8 @@ impl ServeEngine {
                 .as_ref()
                 .and_then(|o| o.circuit().cloned())
                 .expect("fresh oracles of served KBs carry a circuit");
-            let dnnf = Dnnf::from_circuit(&circuit).expect("compiled circuits are binary");
+            let dnnf =
+                Arc::new(Dnnf::from_circuit(&circuit).expect("compiled circuits are binary"));
             let z = entry.z;
             let (compile_s, stats) = (entry.last_compile_s, entry.last_stats);
             self.store.insert(fp, StoredCircuit { dnnf, circuit, z, compile_s, stats });
@@ -524,7 +565,8 @@ impl ServeEngine {
             let Some(circuit) = circuit else {
                 return Err(ServeError::NoMass(entry.kb.name().to_string()));
             };
-            let dnnf = Dnnf::from_circuit(&circuit).expect("compiled circuits are binary");
+            let dnnf =
+                Arc::new(Dnnf::from_circuit(&circuit).expect("compiled circuits are binary"));
             let z = dnnf.probability(&Evidence::empty(entry.kb.num_vars()), &mut DnnfBuffer::new());
             entry.z = z;
             entry.last_stats = stats;
@@ -571,20 +613,34 @@ impl ServeEngine {
 /// Builds one query's [`ServeOutcome`] from its executed task(s).
 fn outcome(plan: &Plan, results: &[TaskResult]) -> ServeOutcome {
     match plan {
-        Plan::Single { task, route } => {
+        Plan::Batch { task, lane, route } => {
             let r = &results[*task];
-            let answer = match (&r.verdict, route) {
-                (Verdict::Wmc { estimate, .. }, Route::Exact) => Answer::Exact(*estimate),
-                (Verdict::Wmc { estimate, lower, upper }, _) => {
-                    Answer::Bounds { estimate: *estimate, lower: *lower, upper: *upper }
-                }
-                (Verdict::Distribution(d), _) => Answer::Distribution(d.clone()),
-                (Verdict::Assignment { assignment, log_prob }, _) => {
+            let Verdict::Batch(answers) = &r.verdict else {
+                unreachable!("the exact batch task reports a batch verdict");
+            };
+            let answer = match &answers[*lane] {
+                Verdict::Wmc { estimate, .. } => Answer::Exact(*estimate),
+                Verdict::Distribution(d) => Answer::Distribution(d.clone()),
+                Verdict::Assignment { assignment, log_prob } => {
                     Answer::Assignment { assignment: assignment.clone(), log_prob: *log_prob }
                 }
-                (other, _) => unreachable!("serve lanes produce WMC-family verdicts: {other:?}"),
+                other => unreachable!("serve lanes produce WMC-family verdicts: {other:?}"),
             };
-            ServeOutcome { route: *route, answer, latency_s: r.neural_s + r.symbolic_s }
+            // One task served every exact lane; attribute an equal
+            // share of its wall time to each query.
+            let share = answers.len().max(1) as f64;
+            ServeOutcome { route: *route, answer, latency_s: (r.neural_s + r.symbolic_s) / share }
+        }
+        Plan::Single { task, route } => {
+            let r = &results[*task];
+            let Verdict::Wmc { estimate, lower, upper } = &r.verdict else {
+                unreachable!("approx lanes produce WMC verdicts");
+            };
+            ServeOutcome {
+                route: *route,
+                answer: Answer::Bounds { estimate: *estimate, lower: *lower, upper: *upper },
+                latency_s: r.neural_s + r.symbolic_s,
+            }
         }
         Plan::ApproxOverZ { joint, z, route } => {
             let r = &results[*joint];

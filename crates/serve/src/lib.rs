@@ -24,8 +24,9 @@
 //!   refined by live measurements.
 //! * [`ServeEngine`] ([`engine`]) — ties it together and executes
 //!   admitted batches through `reason_system::BatchExecutor`'s
-//!   threaded lanes; exact queries share one `Arc<CompiledWmc>` across
-//!   the symbolic workers.
+//!   threaded lanes; a batch's exact queries share one batched-arena
+//!   task (`SymbolicStage::ServeBatch`), answered in a single d-DNNF
+//!   traversal per kernel.
 //!
 //! `reason-eval serve` sweeps this engine (repeated-query speedups,
 //! deadline fallbacks, incremental edits) and commits the result as
@@ -51,13 +52,16 @@
 //! ```
 
 pub mod engine;
-pub mod fingerprint;
 pub mod kb;
 pub mod router;
 pub mod store;
 
 pub use engine::{Answer, KbId, ServeConfig, ServeEngine, ServeError, ServeOutcome, ServeReport};
-pub use fingerprint::FormulaFingerprint;
 pub use kb::KnowledgeBase;
+/// Canonical formula fingerprints — the circuit store's keys. The type
+/// lives in `reason_pc` (the batch executor groups exact tasks by it);
+/// re-exported here because the store's API is keyed by it.
+pub use reason_pc::fingerprint;
+pub use reason_pc::FormulaFingerprint;
 pub use router::{KbTelemetry, Query, QueryKind, QueryRouter, Route, RouterConfig, RouterStats};
 pub use store::{CacheStats, CircuitStore, StoreConfig, StoredCircuit};

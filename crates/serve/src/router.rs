@@ -219,16 +219,22 @@ impl QueryRouter {
             // they take the exact path even past their deadline.
             return Route::Exact;
         }
-        let samples = (budget_s / t.sample_s.max(1e-12)) as u64;
+        // Truncation floors the fitted budget at 0 under deadlines
+        // tighter than one sample's latency; clamp to 1 so the anytime
+        // rung always draws at least one sample (a zero-sample
+        // "estimate" would be a silent non-answer).
+        let samples = ((budget_s / t.sample_s.max(1e-12)) as u64).max(1);
         if samples >= self.config.min_approx_samples {
-            return Route::Approx { samples: samples.min(self.config.max_approx_samples) };
+            // The trailing clamp keeps a degenerate zero cap from
+            // resurrecting the zero-sample budget.
+            return Route::Approx { samples: samples.min(self.config.max_approx_samples).max(1) };
         }
         if t.has_predictor {
             return Route::Predicted;
         }
         // No predictor trained yet: the smallest sound approximation is
         // still better than silently blowing the deadline on exact.
-        Route::Approx { samples: self.config.min_approx_samples }
+        Route::Approx { samples: self.config.min_approx_samples.max(1) }
     }
 }
 
@@ -316,6 +322,39 @@ mod tests {
                 assert_eq!(samples, RouterConfig::default().max_approx_samples);
             }
             other => panic!("expected capped approx, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tight_deadlines_never_produce_a_zero_sample_budget() {
+        // Regression: a deadline tighter than one sample's latency
+        // truncated the fitted budget to 0, and with a permissive
+        // `min_approx_samples` the anytime rung ran zero samples — a
+        // silent non-answer. The budget must clamp to ≥ 1 everywhere.
+        let mut router =
+            QueryRouter::new(RouterConfig { min_approx_samples: 0, ..RouterConfig::default() });
+        // No predictor: the ladder cannot skip past the approx rung.
+        let t = KbTelemetry { compiled: false, has_predictor: false, ..hot_telemetry() };
+        // 100 ns deadline, 2 µs/sample: the raw budget truncates to 0.
+        let q = Query::with_deadline(QueryKind::Wmc, Duration::from_nanos(100));
+        match router.route(&q, &t) {
+            Route::Approx { samples } => {
+                assert!(samples >= 1, "anytime rung must draw at least one sample");
+            }
+            other => panic!("expected approx, got {other:?}"),
+        }
+        // The min-budget fall-through clamps too (min_approx_samples=0
+        // with a trained predictor unavailable must not emit 0 either).
+        let mut strict = QueryRouter::new(RouterConfig {
+            min_approx_samples: 0,
+            max_approx_samples: 0,
+            ..RouterConfig::default()
+        });
+        match strict.route(&q, &t) {
+            // Even a degenerate zero *cap* cannot resurrect the
+            // zero-sample budget.
+            Route::Approx { samples } => assert_eq!(samples, 1),
+            other => panic!("expected approx, got {other:?}"),
         }
     }
 

@@ -16,6 +16,7 @@
 //! latency, never correctness.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use reason_pc::{Circuit, CompileStats, Dnnf};
 
@@ -41,8 +42,10 @@ impl Default for StoreConfig {
 /// One compiled artifact.
 #[derive(Debug, Clone)]
 pub struct StoredCircuit {
-    /// The flat, evaluation-ready d-DNNF arena.
-    pub dnnf: Dnnf,
+    /// The flat, evaluation-ready d-DNNF arena, shared: batch execution
+    /// hands the same arena to `reason_system`'s batched serve lane
+    /// without copying the node table.
+    pub dnnf: Arc<Dnnf>,
     /// The source circuit (rehydrates shared `CompiledWmc` oracles).
     pub circuit: Circuit,
     /// The weighted model count, cached at insertion.
@@ -231,7 +234,7 @@ mod tests {
             let w = WmcWeights::uniform(8);
             let (circuit, stats) = compile_cnf_with_stats(&cnf, &w, &CompileConfig::default());
             if let Some(circuit) = circuit {
-                let dnnf = Dnnf::from_circuit(&circuit).unwrap();
+                let dnnf = Arc::new(Dnnf::from_circuit(&circuit).unwrap());
                 let mut buf = reason_pc::DnnfBuffer::new();
                 let z = dnnf.probability(&reason_pc::Evidence::empty(8), &mut buf);
                 let fp = FormulaFingerprint::new(&cnf, &w);
@@ -300,6 +303,63 @@ mod tests {
             .unwrap()
             .probability(&reason_pc::Evidence::empty(6), &mut reason_pc::DnnfBuffer::new());
         assert_eq!(z_first.to_bits(), z_second.to_bits());
+    }
+
+    #[test]
+    fn overwrite_then_evict_keeps_stats_in_sync_with_live_entries() {
+        // The full re-insert lifecycle: byte accounting must track the
+        // *live* artifacts exactly through overwrites (the old entry's
+        // footprint leaves the meter, the new one enters — never both)
+        // and through the evictions an oversized overwrite triggers.
+        let (fp_a, a) = artifact(1);
+        let (fp_b, b) = artifact(2);
+        let (_, a2) = artifact(3);
+        let (bytes_a, bytes_b, bytes_a2) = (a.bytes(), b.bytes(), a2.bytes());
+        // Byte bound fits both originals plus slack, but not an extra
+        // stale copy of A: if an overwrite double-counted, the meter
+        // would cross the bound and evict spuriously.
+        let budget = bytes_a + bytes_b + bytes_a2.max(bytes_a);
+        let mut store = CircuitStore::new(StoreConfig { max_entries: 8, max_bytes: budget });
+        store.insert(fp_a.clone(), a);
+        store.insert(fp_b.clone(), b);
+        assert_eq!(store.stats().bytes, bytes_a + bytes_b);
+
+        // Overwrite A in place: same key, new artifact.
+        store.insert(fp_a.clone(), a2);
+        let stats = store.stats();
+        assert_eq!(stats.entries, 2, "overwrite must not grow the store");
+        assert_eq!(
+            stats.bytes,
+            bytes_a2 + bytes_b,
+            "overwrite must swap A's footprint, not accumulate it"
+        );
+        assert_eq!(stats.evictions, 0, "a within-budget overwrite must not evict");
+        assert_eq!(stats.insertions, 3);
+
+        // Meter integrity: the stats byte count equals the recomputed
+        // footprints of exactly the live entries.
+        let live: usize = [&fp_a, &fp_b].iter().map(|fp| store.peek(fp).unwrap().bytes()).sum();
+        assert_eq!(store.stats().bytes, live);
+
+        // An overwrite that blows the byte budget evicts the LRU (B),
+        // never the just-refreshed key.
+        let mut store =
+            CircuitStore::new(StoreConfig { max_entries: 8, max_bytes: bytes_a + bytes_b });
+        let (_, a) = artifact(1);
+        let (_, b) = artifact(2);
+        let (_, big) = (3..)
+            .map(artifact)
+            .find(|(_, art)| art.bytes() > bytes_a)
+            .expect("some artifact outgrows A");
+        let big_bytes = big.bytes();
+        store.insert(fp_a.clone(), a);
+        store.insert(fp_b.clone(), b);
+        store.insert(fp_a.clone(), big); // bytes_a2 + bytes_b > budget
+        assert!(store.contains(&fp_a), "the fresh entry is never the victim");
+        assert!(!store.contains(&fp_b), "the LRU entry pays for the overgrown overwrite");
+        let stats = store.stats();
+        assert_eq!((stats.entries, stats.evictions), (1, 1));
+        assert_eq!(stats.bytes, big_bytes);
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! assert_eq!(threaded.measured.tasks, 4);
 //! ```
 
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -43,7 +44,8 @@ use parking_lot::Mutex;
 use reason_approx::{ApproxConfig, ApproxEngine};
 use reason_neural::{LlmProxy, Matrix, Mlp, MlpBuilder};
 use reason_pc::{
-    random_mixture_circuit, Circuit, CompiledWmc, EvalBuffer, Evidence, StructureConfig, WmcWeights,
+    random_mixture_circuit, BatchBuffer, Circuit, CompiledWmc, Dnnf, DnnfBatch, EvalBuffer,
+    Evidence, FormulaFingerprint, StructureConfig, WmcWeights,
 };
 use reason_sat::gen::random_ksat;
 use reason_sat::{Cnf, CubeAndConquer, CubeConfig, Solution};
@@ -142,6 +144,24 @@ pub enum SymbolicStage {
         /// The query to answer.
         query: ServeQuery,
     },
+    /// A whole batch of queries against one shared compiled knowledge
+    /// base, answered through the batched d-DNNF path: one
+    /// [`Dnnf::wmc_batch`] traversal covers every probability-flavored
+    /// lane, marginals share a traversal per queried variable, and MPE
+    /// lanes share one max-product pass. Per-query answers are
+    /// bit-identical to what [`SymbolicStage::Serve`] tasks would
+    /// report one by one — batching changes the schedule, never the
+    /// verdicts. This is the lane `reason-serve` routes a batch's
+    /// exact queries through.
+    ServeBatch {
+        /// The flat evaluation arena of the compiled knowledge base.
+        arena: Arc<Dnnf>,
+        /// The partition function `Pr[φ]` (the compiled oracle's cached
+        /// `wmc()`), shared by every posterior lane in the batch.
+        z: f64,
+        /// The queries, answered in order into [`Verdict::Batch`].
+        queries: Vec<ServeQuery>,
+    },
     /// A synthetic stage of known duration (sleeps).
     Synthetic {
         /// How long the stage takes.
@@ -204,6 +224,10 @@ pub enum Verdict {
         /// Its max-product log-probability.
         log_prob: f64,
     },
+    /// Per-query verdicts of a [`SymbolicStage::ServeBatch`] task, in
+    /// query order; each element is what the corresponding single-query
+    /// [`SymbolicStage::Serve`] task would have reported.
+    Batch(Vec<Verdict>),
     /// A synthetic stage completed.
     Done,
 }
@@ -328,12 +352,22 @@ impl BatchExecutor {
     /// Executes every task and reports per-task verdicts plus the
     /// measured schedule. Results are ordered by submission index no
     /// matter which worker finished first.
+    ///
+    /// Before dispatching to the pools, same-formula work is batched:
+    /// [`SymbolicStage::ExactWmc`] tasks sharing a
+    /// [`FormulaFingerprint`] compile once, and [`SymbolicStage::Serve`]
+    /// tasks sharing one oracle answer through a single batched arena
+    /// traversal. Verdicts are computed identically on every pool
+    /// shape, so the grouping preserves [`BatchReport::agrees_with`];
+    /// each grouped task is attributed an equal share of the group's
+    /// measured symbolic time.
     pub fn run(&self, tasks: &[BatchTask]) -> BatchReport {
         let start = Instant::now();
+        let premap = precompute_shared_groups(tasks);
         let results = if self.config.overlap && !tasks.is_empty() {
-            self.run_overlapped(tasks)
+            self.run_overlapped(tasks, &premap)
         } else {
-            run_serial(tasks)
+            run_serial(tasks, &premap)
         };
         let pipelined_s = start.elapsed().as_secs_f64();
         let serial_s: f64 = results.iter().map(|r| r.neural_s + r.symbolic_s).sum();
@@ -345,7 +379,11 @@ impl BatchExecutor {
 
     /// Threaded path: `neural_workers` producers feed `symbolic_workers`
     /// consumers through shared memory plus a ready queue.
-    fn run_overlapped(&self, tasks: &[BatchTask]) -> Vec<TaskResult> {
+    fn run_overlapped(
+        &self,
+        tasks: &[BatchTask],
+        premap: &HashMap<usize, (Verdict, f64)>,
+    ) -> Vec<TaskResult> {
         let shm = SharedMemory::new();
         // Stage-1 work queue, pre-loaded with every task index.
         let (task_tx, task_rx) = channel::unbounded::<usize>();
@@ -389,9 +427,14 @@ impl BatchExecutor {
                         let buffer = shm
                             .take_neural(i as u64)
                             .expect("neural_ready is raised before dispatch");
-                        let t0 = Instant::now();
-                        let verdict = run_symbolic(&tasks[i].symbolic, &mut eval_buf);
-                        let symbolic_s = t0.elapsed().as_secs_f64();
+                        let (verdict, symbolic_s) = match premap.get(&i) {
+                            Some((v, share_s)) => (v.clone(), *share_s),
+                            None => {
+                                let t0 = Instant::now();
+                                let v = run_symbolic(&tasks[i].symbolic, &mut eval_buf);
+                                (v, t0.elapsed().as_secs_f64())
+                            }
+                        };
                         *slots[i].lock() = Some(TaskResult {
                             name: tasks[i].name.clone(),
                             verdict,
@@ -418,17 +461,23 @@ impl BatchExecutor {
 }
 
 /// Serial reference path: both stages inline, in submission order.
-fn run_serial(tasks: &[BatchTask]) -> Vec<TaskResult> {
+fn run_serial(tasks: &[BatchTask], premap: &HashMap<usize, (Verdict, f64)>) -> Vec<TaskResult> {
     let mut eval_buf = EvalBuffer::new();
     tasks
         .iter()
-        .map(|task| {
+        .enumerate()
+        .map(|(i, task)| {
             let t0 = Instant::now();
             let buffer = run_neural(&task.neural);
             let neural_s = t0.elapsed().as_secs_f64();
-            let t1 = Instant::now();
-            let verdict = run_symbolic(&task.symbolic, &mut eval_buf);
-            let symbolic_s = t1.elapsed().as_secs_f64();
+            let (verdict, symbolic_s) = match premap.get(&i) {
+                Some((v, share_s)) => (v.clone(), *share_s),
+                None => {
+                    let t1 = Instant::now();
+                    let v = run_symbolic(&task.symbolic, &mut eval_buf);
+                    (v, t1.elapsed().as_secs_f64())
+                }
+            };
             TaskResult {
                 name: task.name.clone(),
                 verdict,
@@ -479,6 +528,7 @@ fn run_symbolic(stage: &SymbolicStage, eval_buf: &mut EvalBuffer) -> Verdict {
             Verdict::Wmc { estimate: z, lower: z, upper: z }
         }
         SymbolicStage::Serve { oracle, query } => run_serve(oracle, query, eval_buf),
+        SymbolicStage::ServeBatch { arena, z, queries } => run_serve_batch(arena, *z, queries),
         SymbolicStage::Synthetic { duration } => {
             std::thread::sleep(*duration);
             Verdict::Done
@@ -510,6 +560,157 @@ fn run_serve(oracle: &CompiledWmc, query: &ServeQuery, buf: &mut EvalBuffer) -> 
             None => Verdict::Assignment { assignment: Vec::new(), log_prob: f64::NEG_INFINITY },
         },
     }
+}
+
+/// Answers a whole query batch against one shared arena with the
+/// batched d-DNNF kernels: WMC/probability/posterior lanes share a
+/// single [`Dnnf::wmc_batch`] traversal, marginal lanes share one
+/// [`Dnnf::marginal_batch`] per queried variable, and MPE lanes share
+/// one [`Dnnf::mpe_batch`] pass. Every per-query verdict is
+/// bit-identical to the corresponding [`run_serve`] answer: the
+/// batched kernels replicate the single-query operation order per
+/// lane, and the arena itself evaluates bit-identically to the source
+/// circuit.
+fn run_serve_batch(arena: &Dnnf, z: f64, queries: &[ServeQuery]) -> Verdict {
+    let mut buf = BatchBuffer::new();
+    let mut verdicts: Vec<Option<Verdict>> = vec![None; queries.len()];
+    let degenerate = |p: f64| Verdict::Wmc { estimate: p, lower: p, upper: p };
+
+    // Partition the batch into lanes per kernel. `Wmc` asks for the
+    // partition function itself — already cached, no lane needed.
+    let mut prob: Vec<(usize, Evidence, bool)> = Vec::new(); // (query, evidence, is_posterior)
+    let mut marginals: Vec<(usize, Vec<(usize, Evidence)>)> = Vec::new(); // per queried var
+    let mut mpe: Vec<(usize, Evidence)> = Vec::new();
+    for (q, query) in queries.iter().enumerate() {
+        match query {
+            ServeQuery::Wmc => verdicts[q] = Some(degenerate(z)),
+            ServeQuery::Probability(ev) => prob.push((q, ev.clone(), false)),
+            ServeQuery::Posterior(ev) => prob.push((q, ev.clone(), true)),
+            ServeQuery::Marginal(ev, var) => match marginals.iter_mut().find(|(v, _)| v == var) {
+                Some((_, lanes)) => lanes.push((q, ev.clone())),
+                None => marginals.push((*var, vec![(q, ev.clone())])),
+            },
+            ServeQuery::Mpe(ev) => mpe.push((q, ev.clone())),
+        }
+    }
+
+    if !prob.is_empty() {
+        let evs: Vec<Evidence> = prob.iter().map(|(_, ev, _)| ev.clone()).collect();
+        let ps = arena.wmc_batch(&DnnfBatch::pack(&evs), &mut buf);
+        for ((q, _, posterior), p) in prob.iter().zip(ps) {
+            // Posterior of a massless formula: no conditional exists;
+            // report 0 like the single-query oracle path does.
+            let ans = if *posterior {
+                if z == 0.0 {
+                    0.0
+                } else {
+                    p / z
+                }
+            } else {
+                p
+            };
+            verdicts[*q] = Some(degenerate(ans));
+        }
+    }
+    for (var, lanes) in &marginals {
+        let evs: Vec<Evidence> = lanes.iter().map(|(_, ev)| ev.clone()).collect();
+        let dists = arena.marginal_batch(&DnnfBatch::pack(&evs), *var, &mut buf);
+        for ((q, _), dist) in lanes.iter().zip(dists) {
+            verdicts[*q] = Some(Verdict::Distribution(dist));
+        }
+    }
+    if !mpe.is_empty() {
+        let evs: Vec<Evidence> = mpe.iter().map(|(_, ev)| ev.clone()).collect();
+        let results = arena.mpe_batch(&DnnfBatch::pack(&evs), &mut buf);
+        for ((q, _), res) in mpe.iter().zip(results) {
+            verdicts[*q] =
+                Some(Verdict::Assignment { assignment: res.assignment, log_prob: res.log_prob });
+        }
+    }
+    Verdict::Batch(verdicts.into_iter().map(|v| v.expect("every query answered")).collect())
+}
+
+/// The pre-dispatch batching pass: finds groups of tasks that repeat
+/// the same symbolic work and answers each group once, so the pools
+/// only execute distinct work. Two task shapes group:
+///
+/// * [`SymbolicStage::ExactWmc`] tasks whose `(formula, weights)` share
+///   a [`FormulaFingerprint`] — one compilation answers all of them.
+/// * [`SymbolicStage::Serve`] tasks sharing one oracle (`Arc` identity)
+///   — flattened once and answered through [`run_serve_batch`], one
+///   arena traversal per kernel for the whole group.
+///
+/// Only groups of two or more pay off (a singleton would just move the
+/// same work off the pools), so singletons stay on the per-task path.
+/// Returns `index -> (verdict, attributed symbolic seconds)`; verdicts
+/// are bit-identical to the per-task path, so grouping never changes
+/// answers — only the schedule.
+fn precompute_shared_groups(tasks: &[BatchTask]) -> HashMap<usize, (Verdict, f64)> {
+    let mut premap = HashMap::new();
+
+    // Exact-WMC tasks, keyed by canonical fingerprint.
+    let mut exact: Vec<(FormulaFingerprint, Vec<usize>)> = Vec::new();
+    // Serve tasks, keyed by shared-oracle identity.
+    let mut serve: Vec<(*const CompiledWmc, Vec<usize>)> = Vec::new();
+    for (i, task) in tasks.iter().enumerate() {
+        match &task.symbolic {
+            SymbolicStage::ExactWmc { cnf, probs } => {
+                let fp = FormulaFingerprint::new(cnf, &WmcWeights::new(probs.clone()));
+                match exact.iter_mut().find(|(k, _)| *k == fp) {
+                    Some((_, members)) => members.push(i),
+                    None => exact.push((fp, vec![i])),
+                }
+            }
+            SymbolicStage::Serve { oracle, .. } => {
+                let key = Arc::as_ptr(oracle);
+                match serve.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, members)) => members.push(i),
+                    None => serve.push((key, vec![i])),
+                }
+            }
+            _ => {}
+        }
+    }
+
+    for (_, members) in exact.iter().filter(|(_, m)| m.len() >= 2) {
+        let SymbolicStage::ExactWmc { cnf, probs } = &tasks[members[0]].symbolic else {
+            unreachable!("exact groups only hold ExactWmc tasks");
+        };
+        let t0 = Instant::now();
+        let z = CompiledWmc::new(cnf, &WmcWeights::new(probs.clone())).wmc();
+        let share_s = t0.elapsed().as_secs_f64() / members.len() as f64;
+        for &i in members {
+            premap.insert(i, (Verdict::Wmc { estimate: z, lower: z, upper: z }, share_s));
+        }
+    }
+
+    for (_, members) in serve.iter().filter(|(_, m)| m.len() >= 2) {
+        let SymbolicStage::Serve { oracle, .. } = &tasks[members[0]].symbolic else {
+            unreachable!("serve groups only hold Serve tasks");
+        };
+        // Massless oracles carry no circuit to flatten; their queries
+        // stay on the per-task path (which answers them directly).
+        let Some(Ok(arena)) = oracle.circuit().map(Dnnf::from_circuit) else { continue };
+        let queries: Vec<ServeQuery> = members
+            .iter()
+            .map(|&i| {
+                let SymbolicStage::Serve { query, .. } = &tasks[i].symbolic else {
+                    unreachable!("serve groups only hold Serve tasks");
+                };
+                query.clone()
+            })
+            .collect();
+        let t0 = Instant::now();
+        let Verdict::Batch(answers) = run_serve_batch(&arena, oracle.wmc(), &queries) else {
+            unreachable!("run_serve_batch returns a batch verdict");
+        };
+        let share_s = t0.elapsed().as_secs_f64() / members.len() as f64;
+        for (&i, verdict) in members.iter().zip(answers) {
+            premap.insert(i, (verdict, share_s));
+        }
+    }
+
+    premap
 }
 
 /// A seeded mixed batch with MLP neural stages — the workload the
@@ -823,6 +1024,131 @@ mod tests {
                 assert!(cnf.eval(&model), "served MPE must satisfy the formula");
             }
             other => panic!("expected assignment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_batch_stage_matches_per_query_serve_tasks() {
+        let cnf = random_ksat(10, 26, 3, 8);
+        let weights = WmcWeights::new((0..10).map(|v| 0.3 + 0.04 * v as f64).collect());
+        let oracle = Arc::new(CompiledWmc::new(&cnf, &weights));
+        assert!(oracle.has_mass(), "seed 8 instance must carry mass");
+        let arena =
+            Arc::new(Dnnf::from_circuit(oracle.circuit().expect("mass implies circuit")).unwrap());
+        let mut ev = Evidence::empty(10);
+        ev.set(1, 1);
+        let mut other = Evidence::empty(10);
+        other.set(3, 0).set(6, 1);
+        let queries = vec![
+            ServeQuery::Wmc,
+            ServeQuery::Probability(ev.clone()),
+            ServeQuery::Posterior(ev.clone()),
+            ServeQuery::Marginal(ev.clone(), 4),
+            ServeQuery::Marginal(other.clone(), 4),
+            ServeQuery::Marginal(other.clone(), 7),
+            ServeQuery::Mpe(ev.clone()),
+            ServeQuery::Posterior(ev.clone()), // duplicate lane
+        ];
+        // Reference: one Serve task per query, never grouped (each task
+        // gets its own Arc so identity grouping cannot kick in).
+        let single: Vec<BatchTask> = queries
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, query)| BatchTask {
+                name: format!("single-{i}"),
+                neural: NeuralStage::Synthetic { duration: Duration::from_millis(1) },
+                symbolic: SymbolicStage::Serve {
+                    oracle: Arc::new(CompiledWmc::new(&cnf, &weights)),
+                    query,
+                },
+            })
+            .collect();
+        let batched = vec![BatchTask {
+            name: "batch".into(),
+            neural: NeuralStage::Synthetic { duration: Duration::from_millis(1) },
+            symbolic: SymbolicStage::ServeBatch {
+                arena,
+                z: oracle.wmc(),
+                queries: queries.clone(),
+            },
+        }];
+        let exec = BatchExecutor::new(ExecutorConfig::sequential());
+        let per_query: Vec<Verdict> =
+            exec.run(&single).results.into_iter().map(|r| r.verdict).collect();
+        let report = exec.run(&batched);
+        let Verdict::Batch(answers) = &report.results[0].verdict else {
+            panic!("ServeBatch reports a batch verdict");
+        };
+        assert_eq!(answers, &per_query, "batched lanes ≡ per-query serve verdicts");
+        // And the threaded executor agrees with the serial one.
+        let threaded = BatchExecutor::new(ExecutorConfig::overlapped(2)).run(&batched);
+        assert!(threaded.agrees_with(&report));
+    }
+
+    #[test]
+    fn shared_oracle_serve_tasks_group_without_changing_verdicts() {
+        let cnf = random_ksat(10, 26, 3, 8);
+        let probs: Vec<f64> = (0..10).map(|v| 0.3 + 0.04 * v as f64).collect();
+        let weights = WmcWeights::new(probs);
+        let shared = Arc::new(CompiledWmc::new(&cnf, &weights));
+        assert!(shared.has_mass());
+        let task = |i: usize, oracle: Arc<CompiledWmc>| {
+            let mut ev = Evidence::empty(10);
+            ev.set(i % 10, i % 2);
+            BatchTask {
+                name: format!("serve-{i}"),
+                neural: NeuralStage::Synthetic { duration: Duration::from_millis(1) },
+                symbolic: SymbolicStage::Serve {
+                    oracle,
+                    query: match i % 3 {
+                        0 => ServeQuery::Posterior(ev),
+                        1 => ServeQuery::Marginal(ev, 4),
+                        _ => ServeQuery::Mpe(ev),
+                    },
+                },
+            }
+        };
+        // Same six queries; one batch shares the oracle (grouped), the
+        // other rebuilds it per task (distinct Arcs — per-task path).
+        let grouped: Vec<BatchTask> = (0..6).map(|i| task(i, Arc::clone(&shared))).collect();
+        let ungrouped: Vec<BatchTask> =
+            (0..6).map(|i| task(i, Arc::new(CompiledWmc::new(&cnf, &weights)))).collect();
+        let exec = BatchExecutor::new(ExecutorConfig::overlapped(2));
+        let a = exec.run(&grouped);
+        let b = exec.run(&ungrouped);
+        for (x, y) in a.results.iter().zip(&b.results) {
+            assert_eq!(x.verdict, y.verdict, "grouping changes the schedule, not answers");
+        }
+    }
+
+    #[test]
+    fn repeated_exact_wmc_tasks_compile_once_and_agree() {
+        let cnf = random_ksat(12, 30, 3, 5);
+        let probs: Vec<f64> = (0..12).map(|v| 0.35 + 0.02 * v as f64).collect();
+        let other = random_ksat(12, 30, 3, 6);
+        let mk = |name: &str, cnf: &Cnf| BatchTask {
+            name: name.into(),
+            neural: NeuralStage::Synthetic { duration: Duration::from_millis(1) },
+            symbolic: SymbolicStage::ExactWmc { cnf: cnf.clone(), probs: probs.clone() },
+        };
+        // Three copies of one formula plus a distinct one: the copies
+        // share a fingerprint and must land on the grouped path.
+        let tasks = vec![mk("a0", &cnf), mk("b", &other), mk("a1", &cnf), mk("a2", &cnf)];
+        let serial = BatchExecutor::new(ExecutorConfig::sequential()).run(&tasks);
+        let threaded = BatchExecutor::new(ExecutorConfig::overlapped(3)).run(&tasks);
+        assert!(threaded.agrees_with(&serial));
+        let expect = CompiledWmc::new(&cnf, &WmcWeights::new(probs.clone())).wmc();
+        let expect_other = CompiledWmc::new(&other, &WmcWeights::new(probs)).wmc();
+        for (i, want) in [(0, expect), (1, expect_other), (2, expect), (3, expect)] {
+            match &serial.results[i].verdict {
+                Verdict::Wmc { estimate, lower, upper } => {
+                    assert_eq!(*estimate, want, "task {i}");
+                    assert_eq!(lower, estimate);
+                    assert_eq!(upper, estimate);
+                }
+                other => panic!("expected a WMC verdict, got {other:?}"),
+            }
         }
     }
 

@@ -250,6 +250,64 @@ proptest! {
     }
 
     #[test]
+    fn batched_arena_evaluation_equals_per_query_bit_for_bit(n in 4usize..=16, seed in 0u64..10_000) {
+        // The structure-of-arrays batch evaluator is a data-layout
+        // transformation, not a numerical one: every lane of a mixed
+        // WMC/marginal/MPE batch — including duplicated queries, which
+        // the packer collapses onto a shared storage lane — must
+        // reproduce the single-query DnnfBuffer answer bit-for-bit.
+        use rand::{Rng, SeedableRng};
+        let m = 2 * n + (seed % 13) as usize;
+        let cnf = reason::sat::gen::random_ksat(n, m, 3, seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xBA7C);
+        let probs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.05..0.95)).collect();
+        let Some(circuit) = compile_cnf(&cnf, &WmcWeights::new(probs)) else {
+            return Ok(());
+        };
+        let arena = reason::pc::Dnnf::from_circuit(&circuit).expect("binary universe");
+        let lanes = rng.gen_range(1..=9usize);
+        let mut evidences: Vec<Evidence> = (0..lanes)
+            .map(|_| {
+                let mut ev = Evidence::empty(n);
+                for v in 0..n {
+                    if rng.gen_bool(0.3) {
+                        ev.set(v, usize::from(rng.gen_bool(0.5)));
+                    }
+                }
+                ev
+            })
+            .collect();
+        // Force duplicate lanes so the dedup path is always exercised.
+        if lanes >= 2 {
+            let src = rng.gen_range(0..lanes - 1);
+            evidences[lanes - 1] = evidences[src].clone();
+        }
+        let batch = reason::pc::DnnfBatch::pack(&evidences);
+        prop_assert_eq!(batch.lanes(), lanes);
+        let mut sbuf = reason::pc::DnnfBuffer::new();
+        let mut bbuf = reason::pc::BatchBuffer::new();
+        let logp = arena.log_probability_batch(&batch, &mut bbuf);
+        let wmc = arena.wmc_batch(&batch, &mut bbuf);
+        let var = rng.gen_range(0..n);
+        let marg = arena.marginal_batch(&batch, var, &mut bbuf);
+        let mpe = arena.mpe_batch(&batch, &mut bbuf);
+        for (lane, ev) in evidences.iter().enumerate() {
+            let lp = arena.log_probability(ev, &mut sbuf);
+            prop_assert!(
+                logp[lane].to_bits() == lp.to_bits()
+                    || (logp[lane].is_nan() && lp.is_nan()),
+                "lane {}: batched logp {} vs single {}", lane, logp[lane], lp
+            );
+            prop_assert_eq!(wmc[lane].to_bits(), lp.exp().to_bits());
+            let sm = arena.marginal(ev, var, &mut sbuf);
+            prop_assert_eq!(&marg[lane], &sm, "lane {} marginal", lane);
+            let single = arena.mpe(ev, &mut sbuf);
+            prop_assert_eq!(&mpe[lane].assignment, &single.assignment, "lane {} mpe", lane);
+            prop_assert_eq!(mpe[lane].log_prob.to_bits(), single.log_prob.to_bits());
+        }
+    }
+
+    #[test]
     fn circuit_store_roundtrip_preserves_answers_bit_for_bit(n in 4usize..=12, seed in 0u64..10_000) {
         // Insert → evict → recompile through a 1-entry serving store:
         // the recompiled artifact must reproduce the original answers
