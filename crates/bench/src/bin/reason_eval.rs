@@ -5,7 +5,7 @@
 //! reason-eval <experiment> [tasks] [workers] [--json] [--seed N]
 //!   experiments: fig2 fig3a fig3b fig3c fig3d table2 table3 table4
 //!                fig8 fig9 fig11 fig12 fig13 table5 ablation dse
-//!                pipeline approx compile serve batch all
+//!                pipeline approx compile serve batch traffic all
 //!   pipeline: runs [tasks] mixed SAT/PC/approx/exact-WMC/serve tasks
 //!             on the threaded BatchExecutor with [workers] symbolic
 //!             workers
@@ -21,8 +21,13 @@
 //!             one-traversal throughput, bit-identity guard, and the
 //!             compiled-kernel lowering onto the simulated accelerator
 //!             (predicted vs measured cycles)
+//!   traffic:  sharded-cluster traffic harness — open-loop Poisson
+//!             arrivals with Zipf tenant/query skew swept over offered
+//!             QPS and shard count; p50/p99 modeled latency,
+//!             deadline-miss/degrade/reject rates, bit-identity vs a
+//!             single engine (byte-identical JSON per seed)
 //!   --seed N: seeds the seedable experiments (approx, pipeline,
-//!             compile, serve, batch)
+//!             compile, serve, batch, traffic)
 //!   --json:   machine-readable output — native rows for approx,
 //!             compile, serve, and batch, a {"experiment", "text"} wrapper for
 //!             the table/figure experiments — so sweeps are scriptable
@@ -47,7 +52,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: reason-eval <experiment> [tasks] [workers] [--json] [--seed N]\n\
          experiments: fig2 fig3a fig3b fig3c fig3d table2 table3 table4 fig8 fig9 \
-         fig11 fig12 fig13 table5 ablation dse pipeline approx compile serve batch all"
+         fig11 fig12 fig13 table5 ablation dse pipeline approx compile serve batch traffic \
+         all"
     );
     std::process::exit(2);
 }
@@ -114,6 +120,7 @@ fn main() {
             "compile" => Some(experiments::compile_report(opts.seed, opts.baseline_cap)),
             "serve" => Some(experiments::serve(opts.seed)),
             "batch" => Some(experiments::batch(opts.seed)),
+            "traffic" => Some(experiments::traffic(opts.seed)),
             _ => None,
         }
     };
@@ -126,6 +133,7 @@ fn main() {
             "compile" => Some(experiments::compile_json(opts.seed, opts.baseline_cap)),
             "serve" => Some(experiments::serve_json(opts.seed)),
             "batch" => Some(experiments::batch_json(opts.seed)),
+            "traffic" => Some(experiments::traffic_json(opts.seed)),
             _ => run(name).map(|text| {
                 Json::Obj(vec![
                     ("experiment".into(), Json::Str(name.into())),
@@ -138,7 +146,7 @@ fn main() {
     let all = [
         "fig2", "fig3a", "fig3b", "fig3c", "fig3d", "table2", "table3", "table4", "fig8", "fig9",
         "fig11", "fig12", "fig13", "table5", "ablation", "dse", "pipeline", "approx", "compile",
-        "serve", "batch",
+        "serve", "batch", "traffic",
     ];
     if which == "all" {
         if opts.json {

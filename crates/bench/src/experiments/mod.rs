@@ -7,6 +7,7 @@ pub mod approx;
 pub mod batch;
 pub mod compile;
 pub mod serve;
+pub mod traffic;
 
 pub use approx::{approx, approx_json, approx_rows, approx_rows_for, ApproxRow, SWEEP_SIZES};
 pub use batch::{
@@ -16,6 +17,10 @@ pub use compile::{
     compile_json, compile_report, compile_rows, CompileRow, COMPARE_SIZES, EXTENDED_SIZES,
 };
 pub use serve::{serve, serve_json, serve_rows_for, serve_summary, ServeRow, SERVE_SIZES};
+pub use traffic::{
+    traffic, traffic_cells_for, traffic_json, traffic_summary, TrafficCell, TrafficSummary,
+    TRAFFIC_QPS, TRAFFIC_QUERIES, TRAFFIC_SHARDS,
+};
 
 use std::fmt::Write as _;
 

@@ -63,12 +63,33 @@ impl FormulaFingerprint {
     pub fn digest(&self) -> u64 {
         self.digest
     }
+
+    /// Salted re-hash of the digest, for placing this key on a
+    /// consistent-hash ring. The raw FNV digest is a fine identity
+    /// handle but its low bits are correlated across similar token
+    /// streams; [`ring_mix`] runs a full avalanche so ring positions
+    /// scatter uniformly. Deterministic: same fingerprint and salt
+    /// always hash to the same point.
+    pub fn ring_hash(&self, salt: u64) -> u64 {
+        ring_mix(self.digest ^ ring_mix(salt))
+    }
 }
 
 impl fmt::Display for FormulaFingerprint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:016x}", self.digest)
     }
+}
+
+/// SplitMix64 finalizer: a bijective avalanche mix on `u64`. Shared by
+/// [`FormulaFingerprint::ring_hash`] and `reason-serve`'s cluster ring,
+/// which uses it to place shard replica points so that key and shard
+/// positions are drawn from the same (deterministic) distribution.
+pub fn ring_mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// FNV-1a over the token stream.
@@ -125,5 +146,25 @@ mod tests {
     fn display_prints_the_hex_digest() {
         let fp = FormulaFingerprint::new(&cnf(vec![vec![1]]), &WmcWeights::uniform(4));
         assert_eq!(format!("{fp}"), format!("{:016x}", fp.digest()));
+    }
+
+    #[test]
+    fn ring_hash_is_deterministic_and_salt_sensitive() {
+        let fp = FormulaFingerprint::new(&cnf(vec![vec![1, 2]]), &WmcWeights::uniform(4));
+        assert_eq!(fp.ring_hash(7), fp.ring_hash(7));
+        assert_ne!(fp.ring_hash(7), fp.ring_hash(8));
+        assert_ne!(fp.ring_hash(7), fp.digest(), "salted hash must remix the digest");
+    }
+
+    #[test]
+    fn ring_mix_scatters_sequential_inputs() {
+        // Sequential salts must not produce clustered ring points: check
+        // every pair of mixed values differs in at least 16 bits.
+        let points: Vec<u64> = (0u64..32).map(ring_mix).collect();
+        for (i, &a) in points.iter().enumerate() {
+            for &b in &points[i + 1..] {
+                assert!((a ^ b).count_ones() >= 16, "weak avalanche: {a:016x} vs {b:016x}");
+            }
+        }
     }
 }

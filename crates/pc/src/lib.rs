@@ -74,7 +74,7 @@ pub use compile::{
     PersistentComponentCache, VarOrder, WmcWeights,
 };
 pub use dnnf::{BatchBuffer, Dnnf, DnnfBatch, DnnfBuffer, DnnfError};
-pub use fingerprint::FormulaFingerprint;
+pub use fingerprint::{ring_mix, FormulaFingerprint};
 pub use flows::{dataset_flows, em_step, EdgeFlows};
 pub use infer::{EvalBuffer, Evidence, MpeResult};
 pub use prune::{prune_by_flow, PruneReport};

@@ -1,0 +1,576 @@
+//! The sharded serving front-end: consistent hashing, deadline-aware
+//! admission control, and virtual-time queue modeling over a pool of
+//! [`ServeEngine`] shards.
+//!
+//! A [`ServeCluster`] owns `N` independent [`ServeEngine`]s and places
+//! every registered knowledge base on exactly one of them by
+//! consistent-hashing its [`FormulaFingerprint`] onto a [`HashRing`] of
+//! virtual nodes. Placement is a pure function of `(fingerprint, shard
+//! count, replicas, salt)`, so growing or shrinking the pool by one
+//! shard remaps only the keys the new/removed shard's arc covers —
+//! about `1/N` of them — instead of reshuffling everything the way
+//! `digest % N` would.
+//!
+//! Admission happens *before* dispatch. Each arriving query is judged
+//! by [`QueryRouter::admit`] against a deterministic cost model (the
+//! [`KbTelemetry::prior`] fit, upgraded as the cluster observes its own
+//! dispatch decisions) plus the destination shard's modeled queue
+//! backlog at arrival time. A query whose deadline budget the backlog
+//! has already consumed is [`Admission::Reject`]ed outright — it never
+//! occupies an executor lane only to miss — and a query that can still
+//! make its deadline on a cheaper rung is degraded *now*, not after an
+//! exact attempt times out. Rejected queries stay in the report: every
+//! submitted query has exactly one [`ClusterOutcome`], admitted or not.
+//!
+//! Because admission reads only the deterministic model (never wall
+//! clocks), a replayed workload re-derives the identical admission and
+//! routing sequence; the engines then execute the pre-decided routes
+//! via [`ServeEngine::serve_routed`], whose answers are bit-identical
+//! to a single engine serving the same queries on the same routes.
+
+use reason_pc::{FormulaFingerprint, WmcWeights};
+use reason_sat::Cnf;
+
+use crate::engine::{Answer, KbId, ServeConfig, ServeEngine, ServeError};
+use crate::router::{Admission, KbTelemetry, Query, QueryRouter, Route};
+
+/// A consistent-hash ring mapping fingerprints to shard indices.
+///
+/// Each shard contributes `replicas` virtual points placed by the
+/// [`reason_pc::ring_mix`] finalizer; a key owns the first point at or
+/// clockwise-after its own hash. More replicas smooth the load split at
+/// the cost of a longer (still binary-searched) point table.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, shard)` pairs sorted by point.
+    points: Vec<(u64, usize)>,
+    shards: usize,
+    salt: u64,
+}
+
+impl HashRing {
+    /// A ring of `shards` shards with `replicas` virtual points each.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` or `replicas` is zero.
+    pub fn new(shards: usize, replicas: usize, salt: u64) -> Self {
+        assert!(shards > 0, "a ring needs at least one shard");
+        assert!(replicas > 0, "a ring needs at least one replica point per shard");
+        let mut points = Vec::with_capacity(shards * replicas);
+        for shard in 0..shards {
+            for replica in 0..replicas {
+                // Scatter each (shard, replica) pair independently of
+                // the others so a shard's arcs interleave with everyone
+                // else's instead of clustering. The pre-mix input stays
+                // unique per pair: disjoint bit ranges for shard and
+                // replica, XORed with a salt-derived constant.
+                let point = reason_pc::ring_mix(
+                    (((shard as u64) << 32) | replica as u64) ^ reason_pc::ring_mix(salt),
+                );
+                points.push((point, shard));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, shards, salt }
+    }
+
+    /// Number of shards on the ring.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `fingerprint`: the first virtual point at or
+    /// clockwise-after the key's hash, wrapping at the top of the ring.
+    pub fn shard_for(&self, fingerprint: &FormulaFingerprint) -> usize {
+        let key = fingerprint.ring_hash(self.salt);
+        let idx = self.points.partition_point(|&(p, _)| p < key);
+        let (_, shard) = self.points[idx % self.points.len()];
+        shard
+    }
+}
+
+/// Cluster-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Number of [`ServeEngine`] shards.
+    pub shards: usize,
+    /// Virtual points per shard on the [`HashRing`].
+    pub replicas: usize,
+    /// Ring salt: changing it reshuffles placement wholesale, so keep
+    /// it fixed for the lifetime of a deployment.
+    pub salt: u64,
+    /// Per-shard engine configuration (every shard is identical).
+    pub engine: ServeConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig { shards: 2, replicas: 32, salt: 0xC1A5, engine: ServeConfig::default() }
+    }
+}
+
+impl ClusterConfig {
+    /// The default configuration with `shards` shards.
+    pub fn with_shards(shards: usize) -> Self {
+        ClusterConfig { shards, ..Default::default() }
+    }
+}
+
+/// Handle to a knowledge base registered with a [`ServeCluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClusterKbId {
+    index: usize,
+}
+
+/// One query's fate through the cluster: where the ring placed it, what
+/// admission decided, and what came back.
+#[derive(Debug, Clone)]
+pub struct ClusterOutcome {
+    /// The shard the ring routed the knowledge base to.
+    pub shard: usize,
+    /// The pre-dispatch admission verdict.
+    pub decision: Admission,
+    /// The answer; `None` exactly when the query was rejected.
+    pub answer: Option<Answer>,
+    /// Arrival-to-completion seconds under the deterministic queue
+    /// model (for rejects: the backlog that sank the query).
+    pub modeled_latency_s: f64,
+    /// `true` when the modeled latency exceeds the query's deadline
+    /// (rejects always miss; deadline-free queries never do).
+    pub deadline_miss: bool,
+    /// Measured executor seconds for the query's task(s); `0.0` for
+    /// rejects, which never dispatch.
+    pub latency_s: f64,
+}
+
+/// Admission counters over one [`ServeCluster::serve_at`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Queries admitted on the exact rung.
+    pub exact: u64,
+    /// Queries degraded to anytime bounds before dispatch.
+    pub approx: u64,
+    /// Queries degraded to the prediction network before dispatch.
+    pub predicted: u64,
+    /// Queries rejected before dispatch.
+    pub rejected: u64,
+    /// Admitted queries whose modeled latency still missed their
+    /// deadline (the backlog estimate was optimistic).
+    pub deadline_misses: u64,
+}
+
+/// The result of one cluster batch.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Per-query outcomes, in submission order — one per submitted
+    /// query, including rejects.
+    pub outcomes: Vec<ClusterOutcome>,
+    /// Admission counters for this batch.
+    pub stats: AdmissionStats,
+}
+
+/// What the cluster deterministically believes about one knowledge
+/// base. Unlike the engines' live telemetry (which measures wall
+/// clocks), this model is a pure function of the registration and the
+/// admission history, so replays reproduce it exactly.
+#[derive(Debug, Clone, Copy)]
+struct KbModel {
+    shard: usize,
+    kb: KbId,
+    telemetry: KbTelemetry,
+}
+
+/// One knowledge base's admitted queries within a batch, in admission
+/// order: (arrival index, query, decided route).
+type AdmittedGroup = (ClusterKbId, Vec<(usize, Query, Route)>);
+
+/// The sharded serving front-end (see the [module docs](self)).
+pub struct ServeCluster {
+    config: ClusterConfig,
+    ring: HashRing,
+    shards: Vec<ServeEngine>,
+    /// Deterministic admission judge (no counters are ever recorded on
+    /// it — [`QueryRouter::admit`] takes `&self`).
+    admission: QueryRouter,
+    kbs: Vec<KbModel>,
+    /// Per-shard virtual clock: the modeled time each shard's queue
+    /// drains. Admission charges `max(0, free_at - arrival)` as backlog.
+    free_at: Vec<f64>,
+}
+
+impl ServeCluster {
+    /// A cluster of `config.shards` identically configured engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.shards` or `config.replicas` is zero.
+    pub fn new(config: ClusterConfig) -> Self {
+        let ring = HashRing::new(config.shards, config.replicas, config.salt);
+        let shards = (0..config.shards).map(|_| ServeEngine::new(config.engine)).collect();
+        ServeCluster {
+            config,
+            ring,
+            shards,
+            admission: QueryRouter::new(config.engine.router),
+            kbs: Vec::new(),
+            free_at: vec![0.0; config.shards],
+        }
+    }
+
+    /// Registers a knowledge base on the shard its fingerprint hashes
+    /// to. Registration is cheap; compilation happens on the first
+    /// exact dispatch.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        cnf: &Cnf,
+        weights: WmcWeights,
+    ) -> ClusterKbId {
+        let name = name.into();
+        let fingerprint = FormulaFingerprint::from_parts(cnf.num_vars(), cnf.clauses(), &weights);
+        let shard = self.ring.shard_for(&fingerprint);
+        let kb = self.shards[shard].register(name, cnf, weights);
+        let registered = self.shards[shard].kb(kb);
+        self.kbs.push(KbModel {
+            shard,
+            kb,
+            telemetry: KbTelemetry::prior(registered.num_vars(), registered.num_clauses()),
+        });
+        ClusterKbId { index: self.kbs.len() - 1 }
+    }
+
+    /// The shard the ring placed `id` on.
+    pub fn shard_of(&self, id: ClusterKbId) -> usize {
+        self.kbs[id.index].shard
+    }
+
+    /// The ring.
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// Shard engines, for inspection (store/router statistics).
+    pub fn engines(&self) -> &[ServeEngine] {
+        &self.shards
+    }
+
+    /// Serves a batch arriving all at once (virtual time zero). See
+    /// [`serve_at`](Self::serve_at).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoMass`] when an exact-routed query forces a
+    /// compilation and its formula has no satisfying mass.
+    pub fn serve(&mut self, batch: &[(ClusterKbId, Query)]) -> Result<ClusterReport, ServeError> {
+        let arrivals: Vec<(ClusterKbId, Query, f64)> =
+            batch.iter().map(|(id, q)| (*id, q.clone(), 0.0)).collect();
+        self.serve_at(&arrivals)
+    }
+
+    /// Serves an open-loop workload: `(kb, query, arrival_seconds)`
+    /// triples in nondecreasing arrival order.
+    ///
+    /// Admission runs first, in arrival order, against the
+    /// deterministic cost model and each shard's virtual clock: a
+    /// query's backlog is how far its shard's modeled queue extends
+    /// past its arrival, its admitted route is charged to the clock,
+    /// and a query whose deadline budget the backlog consumes is
+    /// rejected without ever dispatching. The admitted queries are then
+    /// executed for real, grouped per `(shard, knowledge base)` through
+    /// [`ServeEngine::serve_routed`] (preserving submission order
+    /// within each group, with deadlines riding along for EDF
+    /// dispatch), and the measured latencies land in
+    /// [`ClusterOutcome::latency_s`] next to the modeled ones.
+    ///
+    /// The virtual clock persists across calls, so successive
+    /// [`serve_at`](Self::serve_at) batches model one continuous queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics when arrivals are not sorted by arrival time.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoMass`] when an exact-routed query forces a
+    /// compilation and its formula has no satisfying mass.
+    pub fn serve_at(
+        &mut self,
+        arrivals: &[(ClusterKbId, Query, f64)],
+    ) -> Result<ClusterReport, ServeError> {
+        let mut stats = AdmissionStats::default();
+        let mut outcomes: Vec<ClusterOutcome> = Vec::with_capacity(arrivals.len());
+        let mut groups: Vec<AdmittedGroup> = Vec::new();
+
+        let mut last_t = f64::NEG_INFINITY;
+        for (i, (id, query, t)) in arrivals.iter().enumerate() {
+            assert!(*t >= last_t, "arrivals must be sorted by arrival time");
+            last_t = *t;
+            let model = &self.kbs[id.index];
+            let shard = model.shard;
+            let backlog_s = (self.free_at[shard] - t).max(0.0);
+            let decision = self.admission.admit(query, &model.telemetry, backlog_s);
+            match decision {
+                Admission::Reject { .. } => {
+                    stats.rejected += 1;
+                    stats.deadline_misses += 1;
+                    outcomes.push(ClusterOutcome {
+                        shard,
+                        decision,
+                        answer: None,
+                        modeled_latency_s: backlog_s,
+                        deadline_miss: true,
+                        latency_s: 0.0,
+                    });
+                }
+                Admission::Admit(route) => {
+                    let cost_s = modeled_cost(route, query, &model.telemetry);
+                    let start = self.free_at[shard].max(*t);
+                    self.free_at[shard] = start + cost_s;
+                    let modeled_latency_s = self.free_at[shard] - t;
+                    let deadline_miss =
+                        query.deadline.is_some_and(|d| modeled_latency_s > d.as_secs_f64());
+                    match route {
+                        Route::Exact => {
+                            stats.exact += 1;
+                            // The dispatch below compiles the artifact
+                            // (and trains the predictor, when
+                            // configured): upgrade the model so later
+                            // arrivals are judged against warm costs.
+                            let telemetry = &mut self.kbs[id.index].telemetry;
+                            telemetry.compiled = true;
+                            telemetry.has_predictor = self.config.engine.predictor.is_some();
+                        }
+                        Route::Approx { .. } => stats.approx += 1,
+                        Route::Predicted => stats.predicted += 1,
+                    }
+                    if deadline_miss {
+                        stats.deadline_misses += 1;
+                    }
+                    outcomes.push(ClusterOutcome {
+                        shard,
+                        decision,
+                        answer: None,
+                        modeled_latency_s,
+                        deadline_miss,
+                        latency_s: 0.0,
+                    });
+                    match groups.iter_mut().find(|(gid, _)| gid == id) {
+                        Some((_, entries)) => entries.push((i, query.clone(), route)),
+                        None => groups.push((*id, vec![(i, query.clone(), route)])),
+                    }
+                }
+            }
+        }
+
+        // Dispatch: every admitted query executes for real on its
+        // shard, on the route admission pre-decided.
+        for (id, entries) in groups {
+            let model = self.kbs[id.index];
+            let queries: Vec<Query> = entries.iter().map(|(_, q, _)| q.clone()).collect();
+            let routes: Vec<Route> = entries.iter().map(|(_, _, r)| *r).collect();
+            let report = self.shards[model.shard].serve_routed(model.kb, &queries, &routes)?;
+            for ((i, _, _), outcome) in entries.iter().zip(report.outcomes) {
+                outcomes[*i].answer = Some(outcome.answer);
+                outcomes[*i].latency_s = outcome.latency_s;
+            }
+        }
+
+        Ok(ClusterReport { outcomes, stats })
+    }
+}
+
+/// Modeled service seconds for an admitted route, from the same
+/// deterministic telemetry admission judged it with.
+fn modeled_cost(route: Route, query: &Query, t: &KbTelemetry) -> f64 {
+    match route {
+        Route::Exact => t.exact_cost(&query.kind),
+        Route::Approx { samples } => samples as f64 * t.sample_s,
+        // One forward pass, modeled at one warm evaluation.
+        Route::Predicted => t.eval_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    use super::*;
+    use crate::router::QueryKind;
+    use reason_sat::Cnf;
+
+    fn chain_cnf(n: usize) -> Cnf {
+        let clauses: Vec<Vec<i32>> = (1..n as i32).map(|v| vec![-v, v + 1]).collect();
+        Cnf::from_clauses(n, clauses)
+    }
+
+    fn fingerprints(count: usize) -> Vec<FormulaFingerprint> {
+        (0..count)
+            .map(|i| {
+                let cnf = Cnf::from_clauses(
+                    6,
+                    vec![vec![1, 2], vec![-3, (i % 5) as i32 + 1], vec![(i % 6) as i32 + 1]],
+                );
+                let w = WmcWeights::new(vec![0.1 + (i as f64 % 7.0) / 10.0; 6]);
+                FormulaFingerprint::from_parts(6, cnf.clauses(), &w)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ring_placement_is_deterministic_and_in_range() {
+        let ring = HashRing::new(4, 32, 7);
+        let again = HashRing::new(4, 32, 7);
+        for fp in fingerprints(64) {
+            let shard = ring.shard_for(&fp);
+            assert!(shard < 4);
+            assert_eq!(shard, again.shard_for(&fp));
+        }
+    }
+
+    #[test]
+    fn ring_spreads_keys_over_every_shard() {
+        let ring = HashRing::new(4, 64, 7);
+        let mut counts = [0usize; 4];
+        for fp in fingerprints(256) {
+            counts[ring.shard_for(&fp)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "dead shard: {counts:?}");
+    }
+
+    #[test]
+    fn adding_a_shard_remaps_only_a_slice_of_keys() {
+        let before = HashRing::new(4, 64, 7);
+        let after = HashRing::new(5, 64, 7);
+        let keys = fingerprints(512);
+        let moved = keys.iter().filter(|fp| before.shard_for(fp) != after.shard_for(fp)).count();
+        // Expectation is 1/5 of keys; 2/5 leaves generous slack while
+        // still catching a modulo-style full reshuffle (~4/5 moved).
+        assert!(moved <= keys.len() * 2 / 5, "{moved}/{} keys moved", keys.len());
+        // Every moved key lands on the new shard — existing shards
+        // never trade keys among themselves.
+        for fp in &keys {
+            if before.shard_for(fp) != after.shard_for(fp) {
+                assert_eq!(after.shard_for(fp), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_answers_match_a_single_engine_bit_for_bit() {
+        let cnf = chain_cnf(8);
+        let weights = WmcWeights::uniform(8);
+        let mut ev = reason_pc::Evidence::empty(8);
+        ev.set(0, 1);
+        let queries: Vec<Query> = vec![
+            Query::exact(QueryKind::Wmc),
+            Query::exact(QueryKind::Probability(ev)),
+            Query::exact(QueryKind::Marginal(reason_pc::Evidence::empty(8), 3)),
+        ];
+
+        let mut cluster = ServeCluster::new(ClusterConfig::with_shards(3));
+        let kb = cluster.register("chain", &cnf, weights.clone());
+        let batch: Vec<(ClusterKbId, Query)> = queries.iter().map(|q| (kb, q.clone())).collect();
+        let report = cluster.serve(&batch).unwrap();
+
+        let mut single = ServeEngine::new(ServeConfig::default());
+        let sid = single.register("chain", &cnf, weights);
+        let reference = single.serve(sid, &queries).unwrap();
+
+        assert_eq!(report.outcomes.len(), queries.len());
+        for (got, want) in report.outcomes.iter().zip(&reference.outcomes) {
+            assert_eq!(got.answer.as_ref().unwrap(), &want.answer);
+            assert!(!got.deadline_miss);
+        }
+        assert_eq!(report.stats.exact, 3);
+        assert_eq!(report.stats.rejected, 0);
+    }
+
+    #[test]
+    fn backlogged_shard_rejects_and_keeps_the_outcome() {
+        let cnf = chain_cnf(10);
+        let mut cluster = ServeCluster::new(ClusterConfig::with_shards(2));
+        let kb = cluster.register("chain", &cnf, WmcWeights::uniform(10));
+        let shard = cluster.shard_of(kb);
+
+        // A deadline-free query charges the cold compile to the virtual
+        // clock; a second query arriving "immediately" with a deadline
+        // far below that backlog must be rejected before dispatch.
+        let arrivals = vec![
+            (kb, Query::exact(QueryKind::Wmc), 0.0),
+            (kb, Query::with_deadline(QueryKind::Wmc, Duration::from_nanos(10)), 0.0),
+        ];
+        let report = cluster.serve_at(&arrivals).unwrap();
+
+        assert_eq!(report.outcomes.len(), 2, "rejects stay in the report");
+        assert!(matches!(report.outcomes[0].decision, Admission::Admit(Route::Exact)));
+        assert!(report.outcomes[0].answer.is_some());
+        let reject = &report.outcomes[1];
+        assert!(matches!(reject.decision, Admission::Reject { .. }));
+        assert!(reject.answer.is_none());
+        assert!(reject.deadline_miss);
+        assert_eq!(reject.shard, shard);
+        assert_eq!(report.stats.rejected, 1);
+        assert_eq!(report.stats.exact, 1);
+    }
+
+    #[test]
+    fn admission_degrades_under_backlog_and_bounds_contain_the_exact_answer() {
+        // ~0.49 satisfying mass: rare-event workloads would need more
+        // than the degraded budget's samples for a tight bracket.
+        let cnf = Cnf::from_clauses(12, vec![vec![1, 2], vec![-3, 4], vec![5, 6, 7]]);
+        let weights = WmcWeights::uniform(12);
+        let mut cluster = ServeCluster::new(ClusterConfig::with_shards(2));
+        let kb = cluster.register("wide", &cnf, weights.clone());
+
+        // Cold shard: the prior charges the whole compile (~120 µs at
+        // n = 12) to the exact rung, so a 100 µs deadline leaves a
+        // positive budget (50 µs after safety) that exact cannot fit —
+        // admission must degrade to the anytime rung before dispatch.
+        let q = Query::with_deadline(QueryKind::Wmc, Duration::from_micros(100));
+        let report = cluster.serve_at(&[(kb, q, 0.0)]).unwrap();
+        let outcome = &report.outcomes[0];
+        match outcome.decision {
+            Admission::Admit(Route::Approx { samples }) => assert!(samples >= 1),
+            ref other => panic!("expected a degraded admit, got {other:?}"),
+        }
+
+        // The degraded bracket must contain the exact answer.
+        let exact_report = cluster.serve(&[(kb, Query::exact(QueryKind::Wmc))]).unwrap();
+        let Answer::Exact(exact) = exact_report.outcomes[0].answer.clone().unwrap() else {
+            panic!("deadline-free query is exact");
+        };
+        match outcome.answer.clone().unwrap() {
+            Answer::Bounds { lower, upper, .. } => {
+                assert!(
+                    lower <= exact + 1e-12 && exact <= upper + 1e-12,
+                    "bracket [{lower}, {upper}] misses exact {exact}"
+                );
+            }
+            other => panic!("expected bounds, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kbs_spread_across_shards_and_serve_interleaved_batches() {
+        let mut cluster = ServeCluster::new(ClusterConfig::with_shards(4));
+        let kbs: Vec<ClusterKbId> = (0..8)
+            .map(|i| {
+                let cnf = chain_cnf(6 + i % 4);
+                cluster.register(format!("kb-{i}"), &cnf, WmcWeights::uniform(6 + i % 4))
+            })
+            .collect();
+        let shards: std::collections::HashSet<usize> =
+            kbs.iter().map(|&id| cluster.shard_of(id)).collect();
+        assert!(shards.len() > 1, "8 KBs all hashed to one shard");
+
+        let batch: Vec<(ClusterKbId, Query)> =
+            kbs.iter().map(|&id| (id, Query::exact(QueryKind::Wmc))).collect();
+        let report = cluster.serve(&batch).unwrap();
+        assert_eq!(report.outcomes.len(), 8);
+        for (outcome, &id) in report.outcomes.iter().zip(&kbs) {
+            assert_eq!(outcome.shard, cluster.shard_of(id));
+            assert!(matches!(outcome.answer, Some(Answer::Exact(_))));
+        }
+    }
+}

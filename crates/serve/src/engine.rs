@@ -338,6 +338,39 @@ impl ServeEngine {
             let telemetry = self.kbs[id.0].telemetry;
             queries.iter().map(|q| self.router.route(q, &telemetry)).collect()
         };
+        self.serve_routed(id, queries, &routes)
+    }
+
+    /// [`serve`](Self::serve) with the routing decided by the caller:
+    /// executes `queries[i]` on `routes[i]` instead of consulting the
+    /// engine's own adaptive router. This is the dispatch path of the
+    /// sharded front-end ([`crate::cluster`]), whose admission
+    /// controller decides routes *before* dispatch from a deterministic
+    /// cost model — the engine then just executes them, so a replayed
+    /// workload reproduces the identical route sequence regardless of
+    /// what the engine's live telemetry measured. Deadlines still ride
+    /// along: each admitted query's deadline becomes its executor
+    /// task's [`BatchTask::deadline`] (the shared exact-batch task takes
+    /// the earliest one), so the executor drains the queue EDF.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `routes.len() != queries.len()`, when a degraded
+    /// route is paired with a non-degradable kind
+    /// ([`QueryKind::Marginal`]/[`QueryKind::Mpe`]), or when a
+    /// [`Route::Predicted`] query arrives without a trained predictor.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoMass`] when an exact-routed query forces a
+    /// compilation and the formula has no satisfying mass.
+    pub fn serve_routed(
+        &mut self,
+        id: KbId,
+        queries: &[Query],
+        routes: &[Route],
+    ) -> Result<ServeReport, ServeError> {
+        assert_eq!(routes.len(), queries.len(), "one route per query");
         if routes.iter().any(|r| matches!(r, Route::Exact)) {
             self.ensure_compiled(id)?;
         }
@@ -359,10 +392,18 @@ impl ServeEngine {
         // to callers except in latency.
         let exact_lanes: Vec<ServeQuery> = queries
             .iter()
-            .zip(&routes)
+            .zip(routes)
             .filter(|(_, r)| matches!(r, Route::Exact))
             .map(|(q, _)| to_serve_query(&q.kind))
             .collect();
+        // The shared exact task inherits the *earliest* deadline of its
+        // lanes: it must clear the pipeline before the tightest one.
+        let exact_deadline = queries
+            .iter()
+            .zip(routes)
+            .filter(|(_, r)| matches!(r, Route::Exact))
+            .filter_map(|(q, _)| q.deadline)
+            .min();
         let exact_task = (!exact_lanes.is_empty()).then(|| {
             let stored = self
                 .store
@@ -376,12 +417,13 @@ impl ServeEngine {
                     z: stored.z,
                     queries: exact_lanes,
                 },
+                deadline: exact_deadline,
             });
             tasks.len() - 1
         });
         let mut exact_lane = 0usize;
 
-        for (qi, (query, route)) in queries.iter().zip(&routes).enumerate() {
+        for (qi, (query, route)) in queries.iter().zip(routes).enumerate() {
             let seed = self.config.approx_seed ^ (self.served << 20) ^ qi as u64;
             match route {
                 Route::Exact => {
@@ -397,14 +439,19 @@ impl ServeEngine {
                     };
                     match &query.kind {
                         QueryKind::Wmc => {
-                            let task =
-                                push_task(&mut tasks, qi, stage(base_cnf.clone(), *samples, seed));
+                            let task = push_task(
+                                &mut tasks,
+                                qi,
+                                query.deadline,
+                                stage(base_cnf.clone(), *samples, seed),
+                            );
                             plans.push(Plan::Single { task, route: *route });
                         }
                         QueryKind::Probability(ev) => {
                             let task = push_task(
                                 &mut tasks,
                                 qi,
+                                query.deadline,
                                 stage(conjoin(&base_cnf, ev), *samples, seed),
                             );
                             plans.push(Plan::Single { task, route: *route });
@@ -414,6 +461,7 @@ impl ServeEngine {
                                 let joint = push_task(
                                     &mut tasks,
                                     qi,
+                                    query.deadline,
                                     stage(conjoin(&base_cnf, ev), *samples, seed),
                                 );
                                 plans.push(Plan::ApproxOverZ { joint, z, route: *route });
@@ -427,11 +475,13 @@ impl ServeEngine {
                                 let joint = push_task(
                                     &mut tasks,
                                     qi,
+                                    query.deadline,
                                     stage(conjoin(&base_cnf, ev), half, seed),
                                 );
                                 let base = push_task(
                                     &mut tasks,
                                     qi,
+                                    query.deadline,
                                     stage(base_cnf.clone(), half, seed ^ 0xBA5E),
                                 );
                                 plans.push(Plan::ApproxPair { joint, base, route: *route });
@@ -464,6 +514,7 @@ impl ServeEngine {
                         name: format!("query-{qi}"),
                         neural: NeuralStage::Mlp { mlp: mlp.clone(), input },
                         symbolic: SymbolicStage::Synthetic { duration: Duration::ZERO },
+                        deadline: query.deadline,
                     });
                     plans.push(Plan::Predicted {
                         task: task_idx,
@@ -712,11 +763,17 @@ fn empty(stored: &StoredCircuit) -> Evidence {
     Evidence::empty(stored.dnnf.num_vars())
 }
 
-fn push_task(tasks: &mut Vec<BatchTask>, qi: usize, symbolic: SymbolicStage) -> usize {
+fn push_task(
+    tasks: &mut Vec<BatchTask>,
+    qi: usize,
+    deadline: Option<Duration>,
+    symbolic: SymbolicStage,
+) -> usize {
     tasks.push(BatchTask {
         name: format!("query-{qi}"),
         neural: NeuralStage::Synthetic { duration: Duration::ZERO },
         symbolic,
+        deadline,
     });
     tasks.len() - 1
 }
@@ -926,7 +983,7 @@ mod tests {
     #[test]
     fn eviction_roundtrip_preserves_answers_bit_for_bit() {
         let cfg = ServeConfig {
-            store: StoreConfig { max_entries: 1, max_bytes: usize::MAX },
+            store: StoreConfig { max_entries: 1, max_bytes: usize::MAX, ..Default::default() },
             ..ServeConfig::default()
         };
         let mut engine = ServeEngine::new(cfg);

@@ -26,7 +26,14 @@
 //!   admitted batches through `reason_system::BatchExecutor`'s
 //!   threaded lanes; a batch's exact queries share one batched-arena
 //!   task (`SymbolicStage::ServeBatch`), answered in a single d-DNNF
-//!   traversal per kernel.
+//!   traversal per kernel, drained earliest-deadline-first.
+//! * [`ServeCluster`] ([`cluster`]) — the sharded front-end:
+//!   fingerprints consistent-hash onto a [`HashRing`] of engine
+//!   shards, and every query passes deadline-aware *pre-dispatch*
+//!   admission ([`QueryRouter::admit`]) against a deterministic cost
+//!   model plus the destination shard's modeled queue backlog —
+//!   degrading or rejecting before an executor lane is spent, not
+//!   after a miss.
 //!
 //! `reason-eval serve` sweeps this engine (repeated-query speedups,
 //! deadline fallbacks, incremental edits) and commits the result as
@@ -51,17 +58,24 @@
 //! assert_eq!(engine.store_stats().insertions, 1);
 //! ```
 
+pub mod cluster;
 pub mod engine;
 pub mod kb;
 pub mod router;
 pub mod store;
 
+pub use cluster::{
+    AdmissionStats, ClusterConfig, ClusterKbId, ClusterOutcome, ClusterReport, HashRing,
+    ServeCluster,
+};
 pub use engine::{Answer, KbId, ServeConfig, ServeEngine, ServeError, ServeOutcome, ServeReport};
 pub use kb::KnowledgeBase;
 /// Canonical formula fingerprints — the circuit store's keys. The type
 /// lives in `reason_pc` (the batch executor groups exact tasks by it);
 /// re-exported here because the store's API is keyed by it.
 pub use reason_pc::fingerprint;
-pub use reason_pc::FormulaFingerprint;
-pub use router::{KbTelemetry, Query, QueryKind, QueryRouter, Route, RouterConfig, RouterStats};
-pub use store::{CacheStats, CircuitStore, StoreConfig, StoredCircuit};
+pub use reason_pc::{ring_mix, FormulaFingerprint};
+pub use router::{
+    Admission, KbTelemetry, Query, QueryKind, QueryRouter, Route, RouterConfig, RouterStats,
+};
+pub use store::{CacheStats, CircuitStore, EvictionPolicy, StoreConfig, StoredCircuit};

@@ -20,6 +20,14 @@
 //! exact. Cost constants start from a coarse fit of the committed
 //! `BENCH_pc.json` compile sweep and are replaced by measurements as
 //! the engine serves traffic — the routing is *adaptive*, not static.
+//!
+//! The sharded front-end ([`crate::cluster`]) extends the same ladder
+//! into pre-dispatch **admission control**: [`QueryRouter::admit`]
+//! subtracts the shard's modeled queue backlog from the deadline
+//! budget before walking the rungs, and when the backlog alone has
+//! consumed the deadline it returns [`Admission::Reject`] — the query
+//! is refused up front instead of being dispatched into a guaranteed
+//! miss.
 
 use std::time::Duration;
 
@@ -90,6 +98,30 @@ pub enum Route {
     },
     /// One forward pass of the trained prediction network.
     Predicted,
+}
+
+/// A pre-dispatch admission verdict (see [`QueryRouter::admit`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Admission {
+    /// Dispatch on the given route.
+    Admit(Route),
+    /// Refused before dispatch: the modeled queue backlog alone
+    /// exceeds the query's effective deadline budget, so no rung —
+    /// not even the prediction network — could answer in time.
+    Reject {
+        /// Modeled seconds of shard backlog at decision time.
+        backlog_s: f64,
+    },
+}
+
+impl Admission {
+    /// The admitted route, or `None` when rejected.
+    pub fn route(&self) -> Option<Route> {
+        match self {
+            Admission::Admit(route) => Some(*route),
+            Admission::Reject { .. } => None,
+        }
+    }
 }
 
 /// Router knobs.
@@ -209,11 +241,35 @@ impl QueryRouter {
         route
     }
 
+    /// Pre-dispatch admission for the sharded front-end: the same
+    /// ladder as [`route`](Self::route), but the effective budget is
+    /// the deadline minus `backlog_s` — the shard's modeled queue wait
+    /// at decision time. A deadlined query whose budget the backlog
+    /// has already consumed is [`Admission::Reject`]ed outright
+    /// (dropping *before* dispatch, not after a miss); deadline-free
+    /// queries are always admitted exact. Deterministic: no counters
+    /// are touched and only the arguments feed the decision, so a
+    /// replayed workload re-derives the identical admission sequence.
+    pub fn admit(&self, query: &Query, t: &KbTelemetry, backlog_s: f64) -> Admission {
+        let Some(deadline) = query.deadline else {
+            return Admission::Admit(Route::Exact);
+        };
+        let budget_s = deadline.as_secs_f64() * self.config.deadline_safety - backlog_s.max(0.0);
+        if budget_s <= 0.0 {
+            return Admission::Reject { backlog_s };
+        }
+        Admission::Admit(self.ladder(query, t, budget_s))
+    }
+
     fn decide(&self, query: &Query, t: &KbTelemetry) -> Route {
         let Some(deadline) = query.deadline else {
             return Route::Exact;
         };
-        let budget_s = deadline.as_secs_f64() * self.config.deadline_safety;
+        self.ladder(query, t, deadline.as_secs_f64() * self.config.deadline_safety)
+    }
+
+    /// The degrade ladder under an effective budget of `budget_s`.
+    fn ladder(&self, query: &Query, t: &KbTelemetry, budget_s: f64) -> Route {
         if t.exact_cost(&query.kind) <= budget_s || !query.kind.degradable() {
             // Distribution/assignment queries have no approximate rung:
             // they take the exact path even past their deadline.
@@ -355,6 +411,47 @@ mod tests {
             // zero-sample budget.
             Route::Approx { samples } => assert_eq!(samples, 1),
             other => panic!("expected approx, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn admission_rejects_only_when_backlog_consumes_the_deadline() {
+        let router = QueryRouter::default();
+        let t = hot_telemetry();
+        let q = Query::with_deadline(QueryKind::Wmc, Duration::from_millis(10));
+        // Idle shard: plain exact admission (5 ms budget vs 5 µs eval).
+        assert_eq!(router.admit(&q, &t, 0.0), Admission::Admit(Route::Exact));
+        // Backlogged shard: 4 ms of queue leaves a 1 ms budget — exact
+        // still fits.
+        assert_eq!(router.admit(&q, &t, 4e-3), Admission::Admit(Route::Exact));
+        // A cold artifact no longer fits the backlog-trimmed budget:
+        // the ladder degrades to bounds fitted to what is left
+        // (5 ms − 3 ms backlog = 2 ms → 1 000 samples at 2 µs each).
+        let cold = KbTelemetry { compiled: false, ..t };
+        match router.admit(&q, &cold, 3e-3) {
+            Admission::Admit(Route::Approx { samples }) => assert_eq!(samples, 1000),
+            other => panic!("expected degraded admission, got {other:?}"),
+        }
+        // Backlog at/over the effective deadline: rejected up front.
+        let verdict = router.admit(&q, &t, 6e-3);
+        assert_eq!(verdict, Admission::Reject { backlog_s: 6e-3 });
+        assert_eq!(verdict.route(), None);
+        // Deadline-free queries are never rejected, whatever the queue.
+        assert_eq!(
+            router.admit(&Query::exact(QueryKind::Wmc), &t, 1e9),
+            Admission::Admit(Route::Exact)
+        );
+    }
+
+    #[test]
+    fn admission_is_deterministic_and_matches_route_on_an_idle_shard() {
+        let mut router = QueryRouter::default();
+        let t = KbTelemetry { compiled: false, has_predictor: false, ..hot_telemetry() };
+        for deadline_ns in [500, 40_000, 10_000_000, 80_000_000] {
+            let q = Query::with_deadline(QueryKind::Wmc, Duration::from_nanos(deadline_ns));
+            let admitted = router.admit(&q, &t, 0.0);
+            assert_eq!(admitted, router.admit(&q, &t, 0.0), "admission must be replayable");
+            assert_eq!(admitted.route(), Some(router.route(&q, &t)), "idle admission ≡ routing");
         }
     }
 

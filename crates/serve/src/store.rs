@@ -1,4 +1,4 @@
-//! The persistent compiled-circuit store: LRU-bounded, byte-metered.
+//! The persistent compiled-circuit store: cost-aware, byte-metered.
 //!
 //! A [`CircuitStore`] maps [`FormulaFingerprint`]s to compiled
 //! artifacts so that *every* query after a knowledge base's first
@@ -9,11 +9,18 @@
 //! the compile telemetry the router's cost model feeds on.
 //!
 //! The store is bounded two ways — entry count and total artifact
-//! bytes — and evicts least-recently-used entries when either bound is
-//! crossed. Eviction is safe by construction: recompiling the same
-//! `(formula, weights)` key reproduces the artifact bit-for-bit (see
-//! the store round-trip property tests), so an evicted entry costs
-//! latency, never correctness.
+//! bytes — and evicts entries when either bound is crossed. The
+//! victim is chosen by the configured [`EvictionPolicy`]: the default
+//! [`CostAware`](EvictionPolicy::CostAware) policy scores each entry
+//! `bytes × EWMA recompile seconds` (the telemetry every insertion
+//! already carries) and evicts the *minimum* — the entry whose loss is
+//! cheapest to repay — falling back to recency only to break ties.
+//! Plain [`Lru`](EvictionPolicy::Lru) remains available for workloads
+//! whose recompile costs are uniform. Either way eviction is safe by
+//! construction: recompiling the same `(formula, weights)` key
+//! reproduces the artifact bit-for-bit (see the store round-trip
+//! property tests), so an evicted entry costs latency, never
+//! correctness.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -21,6 +28,22 @@ use std::sync::Arc;
 use reason_pc::{Circuit, CompileStats, Dnnf};
 
 use crate::fingerprint::FormulaFingerprint;
+
+/// How a full [`CircuitStore`] picks its eviction victim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Evict the least-recently-used entry.
+    Lru,
+    /// Evict the entry with the smallest retention score
+    /// `bytes × EWMA recompile seconds`: small artifacts that are
+    /// cheap to rebuild go first, while large circuits that took real
+    /// compile time stick around even when a stream of one-shot keys
+    /// churns the recency order. The EWMA survives eviction (keyed by
+    /// digest), so a key that keeps bouncing in and out remembers what
+    /// its recompilations cost. Ties break least-recently-used.
+    #[default]
+    CostAware,
+}
 
 /// Size bounds of a [`CircuitStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,11 +54,13 @@ pub struct StoreConfig {
     /// single artifact larger than the bound is still admitted — the
     /// bound then holds everything *else* out.
     pub max_bytes: usize,
+    /// Victim selection when a bound is crossed.
+    pub policy: EvictionPolicy,
 }
 
 impl Default for StoreConfig {
     fn default() -> Self {
-        StoreConfig { max_entries: 64, max_bytes: 64 << 20 }
+        StoreConfig { max_entries: 64, max_bytes: 64 << 20, policy: EvictionPolicy::CostAware }
     }
 }
 
@@ -72,7 +97,7 @@ pub struct CacheStats {
     pub misses: u64,
     /// Artifacts inserted.
     pub insertions: u64,
-    /// Artifacts evicted by the LRU bounds.
+    /// Artifacts evicted by the size bounds.
     pub evictions: u64,
     /// Live entries right now.
     pub entries: usize,
@@ -95,12 +120,30 @@ impl CacheStats {
 struct Slot {
     value: StoredCircuit,
     last_used: u64,
+    /// EWMA of the recompile seconds observed for this key, carried
+    /// from `recompile_ewma` at insertion time.
+    cost_s: f64,
 }
 
-/// The LRU compiled-circuit store (see the [module docs](self)).
+impl Slot {
+    /// Retention score under [`EvictionPolicy::CostAware`]: the
+    /// recompile seconds an eviction would eventually repay, weighted
+    /// by footprint (bytes and compile effort grow together on this
+    /// workload, so the product separates throwaway artifacts from the
+    /// ones worth pinning).
+    fn score(&self) -> f64 {
+        self.value.bytes() as f64 * self.cost_s
+    }
+}
+
+/// The bounded compiled-circuit store (see the [module docs](self)).
 pub struct CircuitStore {
     config: StoreConfig,
     entries: HashMap<FormulaFingerprint, Slot>,
+    /// Per-digest EWMA of observed recompile seconds. Outlives the
+    /// entries themselves so eviction does not erase the cost history
+    /// that justifies keeping a key next time.
+    recompile_ewma: HashMap<u64, f64>,
     bytes: usize,
     tick: u64,
     hits: u64,
@@ -115,6 +158,7 @@ impl CircuitStore {
         CircuitStore {
             config,
             entries: HashMap::new(),
+            recompile_ewma: HashMap::new(),
             bytes: 0,
             tick: 0,
             hits: 0,
@@ -159,14 +203,23 @@ impl CircuitStore {
         self.entries.get(key).map(|slot| &slot.value)
     }
 
-    /// Inserts (or replaces) an artifact, then evicts
-    /// least-recently-used entries until both bounds hold again. The
-    /// newly inserted artifact is never the eviction victim.
+    /// Inserts (or replaces) an artifact, then evicts entries — chosen
+    /// by the configured [`EvictionPolicy`] — until both bounds hold
+    /// again. The newly inserted artifact is never the eviction
+    /// victim. The artifact's `compile_s` telemetry folds into the
+    /// key's recompile-cost EWMA before the victim search, so a
+    /// re-inserted key is judged by its whole recompilation history.
     pub fn insert(&mut self, key: FormulaFingerprint, value: StoredCircuit) {
         self.tick += 1;
         self.insertions += 1;
         let added = value.bytes();
-        if let Some(old) = self.entries.insert(key.clone(), Slot { value, last_used: self.tick }) {
+        let cost_s = match self.recompile_ewma.get(&key.digest()) {
+            Some(&old) => 0.7 * old + 0.3 * value.compile_s.max(0.0),
+            None => value.compile_s.max(0.0),
+        };
+        self.recompile_ewma.insert(key.digest(), cost_s);
+        let slot = Slot { value, last_used: self.tick, cost_s };
+        if let Some(old) = self.entries.insert(key.clone(), slot) {
             self.bytes -= old.value.bytes();
         }
         self.bytes += added;
@@ -177,7 +230,12 @@ impl CircuitStore {
                 .entries
                 .iter()
                 .filter(|(k, _)| **k != key)
-                .min_by_key(|(_, slot)| slot.last_used)
+                .min_by(|(_, a), (_, b)| match self.config.policy {
+                    EvictionPolicy::Lru => a.last_used.cmp(&b.last_used),
+                    EvictionPolicy::CostAware => {
+                        a.score().total_cmp(&b.score()).then(a.last_used.cmp(&b.last_used))
+                    }
+                })
                 .map(|(k, _)| k.clone());
             match victim {
                 Some(v) => {
@@ -228,6 +286,10 @@ mod tests {
     use reason_sat::Cnf;
 
     fn artifact(seed: u64) -> (FormulaFingerprint, StoredCircuit) {
+        artifact_costing(seed, 1e-3)
+    }
+
+    fn artifact_costing(seed: u64, compile_s: f64) -> (FormulaFingerprint, StoredCircuit) {
         let mut s = seed;
         loop {
             let cnf = random_ksat(8, 20, 3, s);
@@ -238,7 +300,7 @@ mod tests {
                 let mut buf = reason_pc::DnnfBuffer::new();
                 let z = dnnf.probability(&reason_pc::Evidence::empty(8), &mut buf);
                 let fp = FormulaFingerprint::new(&cnf, &w);
-                return (fp, StoredCircuit { dnnf, circuit, z, compile_s: 1e-3, stats });
+                return (fp, StoredCircuit { dnnf, circuit, z, compile_s, stats });
             }
             s += 1000;
         }
@@ -260,7 +322,11 @@ mod tests {
 
     #[test]
     fn entry_bound_evicts_least_recently_used() {
-        let mut store = CircuitStore::new(StoreConfig { max_entries: 2, max_bytes: usize::MAX });
+        let mut store = CircuitStore::new(StoreConfig {
+            max_entries: 2,
+            max_bytes: usize::MAX,
+            policy: EvictionPolicy::Lru,
+        });
         let (fp_a, a) = artifact(1);
         let (fp_b, b) = artifact(2);
         let (fp_c, c) = artifact(3);
@@ -279,7 +345,11 @@ mod tests {
         let (fp_a, a) = artifact(1);
         let (fp_b, b) = artifact(2);
         let tiny = a.bytes() / 2;
-        let mut store = CircuitStore::new(StoreConfig { max_entries: 10, max_bytes: tiny });
+        let mut store = CircuitStore::new(StoreConfig {
+            max_entries: 10,
+            max_bytes: tiny,
+            ..Default::default()
+        });
         store.insert(fp_a.clone(), a);
         assert_eq!(store.len(), 1, "oversized single artifact is admitted");
         store.insert(fp_b.clone(), b);
@@ -319,7 +389,11 @@ mod tests {
         // stale copy of A: if an overwrite double-counted, the meter
         // would cross the bound and evict spuriously.
         let budget = bytes_a + bytes_b + bytes_a2.max(bytes_a);
-        let mut store = CircuitStore::new(StoreConfig { max_entries: 8, max_bytes: budget });
+        let mut store = CircuitStore::new(StoreConfig {
+            max_entries: 8,
+            max_bytes: budget,
+            policy: EvictionPolicy::Lru,
+        });
         store.insert(fp_a.clone(), a);
         store.insert(fp_b.clone(), b);
         assert_eq!(store.stats().bytes, bytes_a + bytes_b);
@@ -343,8 +417,11 @@ mod tests {
 
         // An overwrite that blows the byte budget evicts the LRU (B),
         // never the just-refreshed key.
-        let mut store =
-            CircuitStore::new(StoreConfig { max_entries: 8, max_bytes: bytes_a + bytes_b });
+        let mut store = CircuitStore::new(StoreConfig {
+            max_entries: 8,
+            max_bytes: bytes_a + bytes_b,
+            policy: EvictionPolicy::Lru,
+        });
         let (_, a) = artifact(1);
         let (_, b) = artifact(2);
         let (_, big) = (3..)
@@ -377,5 +454,68 @@ mod tests {
         store.remove(&fp);
         assert_eq!(store.stats().bytes, 0);
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn cost_aware_eviction_protects_expensive_artifacts_over_recent_cheap_ones() {
+        let mut store = CircuitStore::new(StoreConfig {
+            max_entries: 2,
+            max_bytes: usize::MAX,
+            policy: EvictionPolicy::CostAware,
+        });
+        let (fp_dear, dear) = artifact_costing(1, 2.0); // seconds to recompile
+        let (fp_cheap, cheap) = artifact_costing(2, 1e-6);
+        let (fp_new, fresh) = artifact_costing(3, 1e-6);
+        store.insert(fp_dear.clone(), dear);
+        store.insert(fp_cheap.clone(), cheap);
+        let _ = store.get(&fp_cheap); // cheap entry is the *most* recent
+        store.insert(fp_new.clone(), fresh);
+        assert!(store.contains(&fp_dear), "expensive artifact must survive the churn");
+        assert!(!store.contains(&fp_cheap), "cheapest-to-repay entry is the victim");
+        assert!(store.contains(&fp_new));
+    }
+
+    #[test]
+    fn recompile_cost_ewma_survives_eviction() {
+        // A key whose compilations cost 1.0s is evicted, then
+        // re-inserted with an optimistic compile_s of 0 (e.g. a
+        // near-free persistent-cache rebuild). The EWMA must remember
+        // the expensive history: 0.7 * 1.0 + 0.3 * 0.0 = 0.7s, which
+        // still outranks a genuinely cheap competitor.
+        let mut store = CircuitStore::new(StoreConfig {
+            max_entries: 1,
+            max_bytes: usize::MAX,
+            policy: EvictionPolicy::CostAware,
+        });
+        let (fp_dear, dear) = artifact_costing(1, 1.0);
+        let (_, dear_rebuilt) = artifact_costing(1, 0.0);
+        let (fp_cheap, cheap) = artifact_costing(2, 1e-6);
+        store.insert(fp_dear.clone(), dear);
+        store.insert(fp_cheap.clone(), cheap); // evicts dear (only other entry)
+        assert!(!store.contains(&fp_dear));
+        store.insert(fp_dear.clone(), dear_rebuilt); // evicts cheap
+        assert_eq!(store.entries[&fp_dear].cost_s, 0.7, "EWMA folds the evicted history back in");
+        assert_eq!(store.stats().evictions, 2);
+    }
+
+    #[test]
+    fn cost_aware_ties_break_least_recently_used() {
+        let mut store = CircuitStore::new(StoreConfig {
+            max_entries: 2,
+            max_bytes: usize::MAX,
+            policy: EvictionPolicy::CostAware,
+        });
+        // Give two *distinct* keys identical scores by storing one
+        // artifact body under two fingerprints.
+        let (fp_a, a) = artifact_costing(1, 1e-3);
+        let (fp_c, c) = artifact_costing(3, 1e-3);
+        let fp_b = FormulaFingerprint::from_parts(8, &[], &WmcWeights::new(vec![0.4; 8]));
+        let b = a.clone();
+        store.insert(fp_a.clone(), a);
+        store.insert(fp_b.clone(), b);
+        let _ = store.get(&fp_a); // equal scores: B is now the older entry
+        store.insert(fp_c.clone(), c); // victim search is over {A, B} only
+        assert!(store.contains(&fp_a));
+        assert!(!store.contains(&fp_b), "score tie must fall back to recency");
     }
 }

@@ -193,6 +193,34 @@ pub struct BatchTask {
     pub neural: NeuralStage,
     /// Stage 2 (symbolic pool).
     pub symbolic: SymbolicStage,
+    /// Answer-by budget. Deadlined tasks are *dispatched*
+    /// earliest-deadline-first ahead of deadline-free ones (see
+    /// [`edf_order`]); results still come back in submission order and
+    /// verdicts are unaffected — the deadline shapes the schedule only.
+    pub deadline: Option<Duration>,
+}
+
+impl BatchTask {
+    /// The same task carrying a dispatch deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// The dispatch order the executor feeds its neural pool: tasks with
+/// deadlines first, earliest deadline first (ties by submission index),
+/// then deadline-free tasks in submission order. A batch without
+/// deadlines dispatches exactly in submission order, so the reorder is
+/// free for deadline-oblivious callers. `reason-serve`'s cluster relies
+/// on this to drain each shard's admitted queue EDF: the queries
+/// closest to their deadline clear the pipeline first, while results —
+/// written into per-index slots — stay in submission order and the
+/// [`BatchReport::agrees_with`] determinism contract is untouched.
+pub fn edf_order(tasks: &[BatchTask]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..tasks.len()).collect();
+    order.sort_by_key(|&i| (tasks[i].deadline.unwrap_or(Duration::MAX), i));
+    order
 }
 
 /// The answer a task's symbolic stage produced. Stage computations are
@@ -446,7 +474,11 @@ impl BatchExecutor {
                 });
             }
 
-            for i in 0..tasks.len() {
+            // Earliest-deadline-first dispatch: the queue is loaded in
+            // EDF order, so deadline-pressed tasks reach the pools (and
+            // clear them) first. Result slots are per-index, so the
+            // report still reads in submission order.
+            for i in edf_order(tasks) {
                 task_tx.send(i).expect("neural pool outlives submission");
             }
             drop(task_tx);
@@ -460,33 +492,34 @@ impl BatchExecutor {
     }
 }
 
-/// Serial reference path: both stages inline, in submission order.
+/// Serial reference path: both stages inline. Executes in the same EDF
+/// dispatch order as the threaded path; results are returned in
+/// submission order either way.
 fn run_serial(tasks: &[BatchTask], premap: &HashMap<usize, (Verdict, f64)>) -> Vec<TaskResult> {
     let mut eval_buf = EvalBuffer::new();
-    tasks
-        .iter()
-        .enumerate()
-        .map(|(i, task)| {
-            let t0 = Instant::now();
-            let buffer = run_neural(&task.neural);
-            let neural_s = t0.elapsed().as_secs_f64();
-            let (verdict, symbolic_s) = match premap.get(&i) {
-                Some((v, share_s)) => (v.clone(), *share_s),
-                None => {
-                    let t1 = Instant::now();
-                    let v = run_symbolic(&task.symbolic, &mut eval_buf);
-                    (v, t1.elapsed().as_secs_f64())
-                }
-            };
-            TaskResult {
-                name: task.name.clone(),
-                verdict,
-                neural_output: buffer,
-                neural_s,
-                symbolic_s,
+    let mut results: Vec<Option<TaskResult>> = tasks.iter().map(|_| None).collect();
+    for i in edf_order(tasks) {
+        let task = &tasks[i];
+        let t0 = Instant::now();
+        let buffer = run_neural(&task.neural);
+        let neural_s = t0.elapsed().as_secs_f64();
+        let (verdict, symbolic_s) = match premap.get(&i) {
+            Some((v, share_s)) => (v.clone(), *share_s),
+            None => {
+                let t1 = Instant::now();
+                let v = run_symbolic(&task.symbolic, &mut eval_buf);
+                (v, t1.elapsed().as_secs_f64())
             }
-        })
-        .collect()
+        };
+        results[i] = Some(TaskResult {
+            name: task.name.clone(),
+            verdict,
+            neural_output: buffer,
+            neural_s,
+            symbolic_s,
+        });
+    }
+    results.into_iter().map(|r| r.expect("every task executed")).collect()
 }
 
 fn run_neural(stage: &NeuralStage) -> Vec<f64> {
@@ -785,7 +818,7 @@ pub fn demo_batch(tasks: usize, seed: u64) -> Vec<BatchTask> {
                     }
                 }
             };
-            BatchTask { name: format!("task-{i}"), neural, symbolic }
+            BatchTask { name: format!("task-{i}"), neural, symbolic, deadline: None }
         })
         .collect()
 }
@@ -817,6 +850,7 @@ pub fn synthetic_batch(costs: &[(u64, u64)]) -> Vec<BatchTask> {
             name: format!("synthetic-{i}"),
             neural: NeuralStage::Synthetic { duration: Duration::from_millis(n_ms) },
             symbolic: SymbolicStage::Synthetic { duration: Duration::from_millis(s_ms) },
+            deadline: None,
         })
         .collect()
 }
@@ -922,6 +956,7 @@ mod tests {
                 probs: vec![0.5; 12],
                 config: demo_approx_config(42),
             },
+            deadline: None,
         }];
         let serial = BatchExecutor::new(ExecutorConfig::sequential()).run(&tasks);
         let threaded = BatchExecutor::new(ExecutorConfig::overlapped(2)).run(&tasks);
@@ -990,6 +1025,7 @@ mod tests {
                 name: format!("serve-{i}"),
                 neural: NeuralStage::Synthetic { duration: Duration::from_millis(1) },
                 symbolic: SymbolicStage::Serve { oracle: Arc::clone(&oracle), query },
+                deadline: None,
             })
             .collect();
         let serial = BatchExecutor::new(ExecutorConfig::sequential()).run(&tasks);
@@ -1062,6 +1098,7 @@ mod tests {
                     oracle: Arc::new(CompiledWmc::new(&cnf, &weights)),
                     query,
                 },
+                deadline: None,
             })
             .collect();
         let batched = vec![BatchTask {
@@ -1072,6 +1109,7 @@ mod tests {
                 z: oracle.wmc(),
                 queries: queries.clone(),
             },
+            deadline: None,
         }];
         let exec = BatchExecutor::new(ExecutorConfig::sequential());
         let per_query: Vec<Verdict> =
@@ -1107,6 +1145,7 @@ mod tests {
                         _ => ServeQuery::Mpe(ev),
                     },
                 },
+                deadline: None,
             }
         };
         // Same six queries; one batch shares the oracle (grouped), the
@@ -1131,6 +1170,7 @@ mod tests {
             name: name.into(),
             neural: NeuralStage::Synthetic { duration: Duration::from_millis(1) },
             symbolic: SymbolicStage::ExactWmc { cnf: cnf.clone(), probs: probs.clone() },
+            deadline: None,
         };
         // Three copies of one formula plus a distinct one: the copies
         // share a fingerprint and must land on the grouped path.
@@ -1160,6 +1200,7 @@ mod tests {
             name: "exact".into(),
             neural: NeuralStage::Synthetic { duration: Duration::from_millis(1) },
             symbolic: SymbolicStage::ExactWmc { cnf: cnf.clone(), probs: probs.clone() },
+            deadline: None,
         }];
         let serial = BatchExecutor::new(ExecutorConfig::sequential()).run(&tasks);
         let threaded = BatchExecutor::new(ExecutorConfig::overlapped(2)).run(&tasks);
@@ -1187,9 +1228,41 @@ mod tests {
                 bytes_per_sec: 768e9,
             },
             symbolic: SymbolicStage::Synthetic { duration: Duration::from_millis(1) },
+            deadline: None,
         }];
         let report = BatchExecutor::new(ExecutorConfig::default()).run(&tasks);
         assert_eq!(report.results[0].neural_output.len(), 1);
         assert!(report.results[0].neural_output[0] > 0.0);
+    }
+
+    #[test]
+    fn edf_order_front_runs_deadlined_tasks() {
+        let mut tasks = synthetic_batch(&[(1, 1); 5]);
+        tasks[1] = tasks[1].clone().with_deadline(Duration::from_millis(20));
+        tasks[4] = tasks[4].clone().with_deadline(Duration::from_millis(5));
+        tasks[2] = tasks[2].clone().with_deadline(Duration::from_millis(20));
+        // Deadlines first (earliest first, ties by index), then the
+        // deadline-free tail in submission order.
+        assert_eq!(edf_order(&tasks), vec![4, 1, 2, 0, 3]);
+        // No deadlines anywhere → pure submission order.
+        assert_eq!(edf_order(&synthetic_batch(&[(1, 1); 4])), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn edf_dispatch_preserves_submission_order_results_and_verdicts() {
+        // Give the demo batch a scrambled deadline profile and check the
+        // determinism contract survives the reorder on every pool shape.
+        let mut tasks = demo_batch(6, 7);
+        let deadlines = [None, Some(3), None, Some(50), Some(1), None];
+        for (task, d) in tasks.iter_mut().zip(deadlines) {
+            task.deadline = d.map(Duration::from_millis);
+        }
+        let plain = BatchExecutor::new(ExecutorConfig::sequential()).run(&demo_batch(6, 7));
+        let serial = BatchExecutor::new(ExecutorConfig::sequential()).run(&tasks);
+        let threaded = BatchExecutor::new(ExecutorConfig::overlapped(2)).run(&tasks);
+        assert!(serial.agrees_with(&plain), "deadlines shape the schedule, not the answers");
+        assert!(threaded.agrees_with(&serial));
+        let names: Vec<&str> = serial.results.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["task-0", "task-1", "task-2", "task-3", "task-4", "task-5"]);
     }
 }

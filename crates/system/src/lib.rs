@@ -37,8 +37,8 @@ pub mod sync;
 
 pub use device::{BatchId, DeviceStatus, ExecuteOutcome, ReasonDevice, ReasoningMode};
 pub use executor::{
-    demo_approx_config, demo_batch, synthetic_batch, BatchExecutor, BatchReport, BatchTask,
-    ExecutorConfig, NeuralStage, ServeQuery, SymbolicStage, TaskResult, Verdict,
+    demo_approx_config, demo_batch, edf_order, synthetic_batch, BatchExecutor, BatchReport,
+    BatchTask, ExecutorConfig, NeuralStage, ServeQuery, SymbolicStage, TaskResult, Verdict,
 };
 pub use pipeline::{PipelineReport, StageCost, TwoLevelPipeline};
 pub use sync::SharedMemory;

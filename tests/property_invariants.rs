@@ -330,7 +330,7 @@ proptest! {
             evict_seed += 1;
         };
         let mut engine = ServeEngine::new(ServeConfig {
-            store: StoreConfig { max_entries: 1, max_bytes: usize::MAX },
+            store: StoreConfig { max_entries: 1, max_bytes: usize::MAX, ..Default::default() },
             ..ServeConfig::default()
         });
         let kb = engine.register("kb", &cnf, weights);
@@ -377,6 +377,135 @@ proptest! {
             exact >= est.lower - 0.02 && exact <= est.upper + 0.02,
             "[{}, {}] (+-0.02) misses brute truth {}", est.lower, est.upper, exact
         );
+    }
+
+    #[test]
+    fn consistent_ring_remaps_only_the_new_shards_arcs(shards in 1usize..8, seed in 0u64..10_000) {
+        // The cluster front-end's placement contract: routing is a pure
+        // function of (key, ring parameters) — two rings built from the
+        // same parameters agree on every key — and growing the ring by
+        // one shard only remaps the keys whose arcs the new shard's
+        // virtual points capture (about 1/(N+1) of them), each landing
+        // on the new shard. Shrinking is the same statement read
+        // backwards: removing shard N only disturbs keys that lived on
+        // shard N, so the "movers land on the new shard" assertion
+        // covers both directions.
+        use rand::{Rng, SeedableRng};
+        use reason::serve::{FormulaFingerprint, HashRing};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let cnf = Cnf::from_clauses(3, vec![vec![1, 2], vec![-2, 3]]);
+        let keys: Vec<FormulaFingerprint> = (0..128)
+            .map(|_| {
+                let probs: Vec<f64> = (0..3).map(|_| rng.gen_range(0.05..0.95)).collect();
+                FormulaFingerprint::from_parts(3, cnf.clauses(), &WmcWeights::new(probs))
+            })
+            .collect();
+        let ring = HashRing::new(shards, 32, seed);
+        let again = HashRing::new(shards, 32, seed);
+        let grown = HashRing::new(shards + 1, 32, seed);
+        let mut moved = 0usize;
+        for fp in &keys {
+            let before = ring.shard_for(fp);
+            prop_assert!(before < shards);
+            prop_assert_eq!(before, again.shard_for(fp), "routing must be deterministic");
+            let after = grown.shard_for(fp);
+            if after != before {
+                moved += 1;
+                prop_assert_eq!(after, shards, "a remapped key may only land on the new shard");
+            }
+        }
+        // The expected remap fraction is 1/(shards+1). Allow twice that
+        // plus an absolute slack for the arc-length variance of 32
+        // virtual points per shard — many standard deviations above the
+        // mean, so the bound never flakes, while any return to modulo
+        // placement (which remaps ~half of all keys) still fails it.
+        let bound = 2 * keys.len() / (shards + 1) + keys.len() / 8;
+        prop_assert!(
+            moved <= bound,
+            "adding a shard moved {}/{} keys (bound {})", moved, keys.len(), bound
+        );
+    }
+
+    #[test]
+    fn cluster_admission_degrades_soundly_and_loses_no_query(cnf in arb_cnf(8, 14), seed in 0u64..1000) {
+        // Pre-dispatch admission may degrade or reject, never lie or
+        // lose: every submitted query gets exactly one outcome (rejects
+        // included, answerless and flagged), exact answers are
+        // bit-identical to an unsharded engine's, and a degraded
+        // query's bracket must contain the compiled-oracle truth up to
+        // the same statistical slack the approx property above pins.
+        use std::time::Duration;
+        use reason::pc::CompiledWmc;
+        use reason::serve::{
+            Admission, Answer, ClusterConfig, Query, QueryKind, Route, ServeCluster, ServeConfig,
+            ServeEngine,
+        };
+        let weights = WmcWeights::uniform(8);
+        let oracle = CompiledWmc::new(&cnf, &weights);
+        if !oracle.has_mass() {
+            return Ok(()); // massless KBs are rejected at registration
+        }
+        let exact = oracle.wmc();
+        let mut config = ClusterConfig::with_shards(2);
+        config.engine = ServeConfig { approx_seed: seed, ..ServeConfig::default() };
+        let mut cluster = ServeCluster::new(config);
+        let kb = cluster.register("kb", &cnf, weights.clone());
+        // All four arrive at t = 0 on a cold shard, so the modeled
+        // queue fills deterministically: the first deadline is too
+        // tight for a cold compile (degrade), the unbounded queries
+        // stay exact (the second one warm), and by the last arrival the
+        // backlog alone exceeds a 1 µs deadline (reject).
+        let queries = [
+            Query::with_deadline(QueryKind::Wmc, Duration::from_micros(100)),
+            Query::exact(QueryKind::Wmc),
+            Query::with_deadline(QueryKind::Wmc, Duration::from_micros(1)),
+            Query::exact(QueryKind::Wmc),
+        ];
+        let arrivals: Vec<_> = queries.iter().map(|q| (kb, q.clone(), 0.0)).collect();
+        let report = cluster.serve_at(&arrivals).unwrap();
+        prop_assert_eq!(report.outcomes.len(), queries.len(), "no query may vanish");
+        let s = report.stats;
+        prop_assert_eq!(
+            s.exact + s.approx + s.predicted + s.rejected,
+            queries.len() as u64,
+            "admission counters must account for every query"
+        );
+        prop_assert_eq!((s.exact, s.approx, s.rejected), (2, 1, 1));
+        // The degraded query: an anytime bracket containing the truth.
+        let degraded =
+            matches!(report.outcomes[0].decision, Admission::Admit(Route::Approx { .. }));
+        prop_assert!(degraded, "tight-deadline cold query must degrade to bounds");
+        let Some(Answer::Bounds { estimate, lower, upper }) = report.outcomes[0].answer.clone()
+        else {
+            panic!("degraded query must answer with bounds");
+        };
+        prop_assert!(lower <= estimate && estimate <= upper);
+        prop_assert!(
+            exact >= lower - 0.02 && exact <= upper + 0.02,
+            "[{}, {}] (+-0.02) misses the compiled oracle {}", lower, upper, exact
+        );
+        // The reject: flagged, answerless, but still reported.
+        let rejected = matches!(report.outcomes[2].decision, Admission::Reject { .. });
+        prop_assert!(rejected, "backlogged 1 microsecond deadline must reject");
+        prop_assert!(report.outcomes[2].answer.is_none());
+        prop_assert!(report.outcomes[2].deadline_miss);
+        // The exact admissions: bit-identical to an unsharded engine.
+        let mut single = ServeEngine::new(ServeConfig::default());
+        let skb = single.register("kb", &cnf, weights);
+        let reference = single
+            .serve(skb, &[Query::exact(QueryKind::Wmc), Query::exact(QueryKind::Wmc)])
+            .unwrap();
+        for (cluster_i, single_i) in [(1usize, 0usize), (3, 1)] {
+            let (Some(Answer::Exact(a)), Answer::Exact(b)) =
+                (&report.outcomes[cluster_i].answer, &reference.outcomes[single_i].answer)
+            else {
+                panic!("exact admission must answer exactly");
+            };
+            prop_assert_eq!(
+                a.to_bits(), b.to_bits(),
+                "sharded exact answer {} differs from unsharded {}", a, b
+            );
+        }
     }
 }
 
