@@ -3,9 +3,10 @@
 //!
 //! ```text
 //! reason-eval <experiment> [tasks] [workers] [--json] [--seed N]
+//!             [--trace-out FILE]
 //!   experiments: fig2 fig3a fig3b fig3c fig3d table2 table3 table4
 //!                fig8 fig9 fig11 fig12 fig13 table5 ablation dse
-//!                pipeline approx compile serve batch traffic all
+//!                pipeline approx compile serve batch traffic trace all
 //!   pipeline: runs [tasks] mixed SAT/PC/approx/exact-WMC/serve tasks
 //!             on the threaded BatchExecutor with [workers] symbolic
 //!             workers
@@ -26,8 +27,18 @@
 //!             QPS and shard count; p50/p99 modeled latency,
 //!             deadline-miss/degrade/reject rates, bit-identity vs a
 //!             single engine (byte-identical JSON per seed)
+//!   trace:    deterministic observability replay — the traffic
+//!             generator against a telemetry-instrumented cluster on a
+//!             virtual clock; per-stage latency attribution
+//!             (queue/compile/exec must reproduce the modeled latency
+//!             within 1%), an allowlisted metric snapshot, per-tenant
+//!             cost-model state, and a Perfetto/Chrome trace
+//!             (--trace-out FILE writes it); --json is the committed
+//!             BENCH_obs.json and is byte-identical per seed
 //!   --seed N: seeds the seedable experiments (approx, pipeline,
-//!             compile, serve, batch, traffic)
+//!             compile, serve, batch, traffic, trace)
+//!   --trace-out FILE: with `trace`, writes the final cell's Chrome
+//!             trace_event JSON to FILE (open in Perfetto)
 //!   --json:   machine-readable output — native rows for approx,
 //!             compile, serve, and batch, a {"experiment", "text"} wrapper for
 //!             the table/figure experiments — so sweeps are scriptable
@@ -50,10 +61,11 @@ struct EvalOpts {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: reason-eval <experiment> [tasks] [workers] [--json] [--seed N]\n\
+        "usage: reason-eval <experiment> [tasks] [workers] [--json] [--seed N] \
+         [--trace-out FILE]\n\
          experiments: fig2 fig3a fig3b fig3c fig3d table2 table3 table4 fig8 fig9 \
          fig11 fig12 fig13 table5 ablation dse pipeline approx compile serve batch traffic \
-         all"
+         trace all"
     );
     std::process::exit(2);
 }
@@ -61,6 +73,7 @@ fn usage() -> ! {
 fn main() {
     let mut which: Option<String> = None;
     let mut positional: Vec<usize> = Vec::new();
+    let mut trace_out: Option<String> = None;
     let mut opts = EvalOpts { tasks: 4, workers: 4, seed: 42, json: false, baseline_cap: 28 };
 
     let mut args = std::env::args().skip(1);
@@ -71,6 +84,13 @@ fn main() {
                 Some(seed) => opts.seed = seed,
                 None => {
                     eprintln!("--seed requires an integer value");
+                    usage();
+                }
+            },
+            "--trace-out" => match args.next() {
+                Some(path) => trace_out = Some(path),
+                None => {
+                    eprintln!("--trace-out requires a file path");
                     usage();
                 }
             },
@@ -121,6 +141,7 @@ fn main() {
             "serve" => Some(experiments::serve(opts.seed)),
             "batch" => Some(experiments::batch(opts.seed)),
             "traffic" => Some(experiments::traffic(opts.seed)),
+            "trace" => Some(experiments::trace(opts.seed)),
             _ => None,
         }
     };
@@ -134,6 +155,7 @@ fn main() {
             "serve" => Some(experiments::serve_json(opts.seed)),
             "batch" => Some(experiments::batch_json(opts.seed)),
             "traffic" => Some(experiments::traffic_json(opts.seed)),
+            "trace" => Some(experiments::trace_json(opts.seed)),
             _ => run(name).map(|text| {
                 Json::Obj(vec![
                     ("experiment".into(), Json::Str(name.into())),
@@ -146,8 +168,19 @@ fn main() {
     let all = [
         "fig2", "fig3a", "fig3b", "fig3c", "fig3d", "table2", "table3", "table4", "fig8", "fig9",
         "fig11", "fig12", "fig13", "table5", "ablation", "dse", "pipeline", "approx", "compile",
-        "serve", "batch", "traffic",
+        "serve", "batch", "traffic", "trace",
     ];
+    if let Some(path) = &trace_out {
+        if which != "trace" {
+            eprintln!("--trace-out only applies to the `trace` experiment");
+            usage();
+        }
+        let artifact = experiments::trace_artifact(opts.seed);
+        if let Err(err) = std::fs::write(path, artifact) {
+            eprintln!("failed to write {path}: {err}");
+            std::process::exit(1);
+        }
+    }
     if which == "all" {
         if opts.json {
             let reports: Vec<Json> =

@@ -7,6 +7,7 @@ pub mod approx;
 pub mod batch;
 pub mod compile;
 pub mod serve;
+pub mod trace;
 pub mod traffic;
 
 pub use approx::{approx, approx_json, approx_rows, approx_rows_for, ApproxRow, SWEEP_SIZES};
@@ -17,6 +18,10 @@ pub use compile::{
     compile_json, compile_report, compile_rows, CompileRow, COMPARE_SIZES, EXTENDED_SIZES,
 };
 pub use serve::{serve, serve_json, serve_rows_for, serve_summary, ServeRow, SERVE_SIZES};
+pub use trace::{
+    trace, trace_artifact, trace_cells_for, trace_json, trace_summary, TraceCell, TraceSummary,
+    METRIC_ALLOWLIST, TRACE_QPS, TRACE_QUERIES, TRACE_SHARDS,
+};
 pub use traffic::{
     traffic, traffic_cells_for, traffic_json, traffic_summary, TrafficCell, TrafficSummary,
     TRAFFIC_QPS, TRAFFIC_QUERIES, TRAFFIC_SHARDS,
@@ -649,25 +654,49 @@ pub fn pipeline(tasks: usize, workers: usize, seed: u64) -> String {
         "{:>28} {:>12} {:>12} {:>8}",
         "configuration", "makespan s", "serial s", "gain"
     );
+    // Every schedule is published into one metrics registry (the
+    // structured path — `PipelineReport::record_into` with documented
+    // units) and the table below is rendered *from* the registry, so
+    // nothing here is print-only.
+    let registry = reason_telemetry::MetricsRegistry::new();
     let serial_cal = BatchExecutor::new(ExecutorConfig::sequential()).run(&calibrated);
     let overlapped = BatchExecutor::new(ExecutorConfig::overlapped(1)).run(&calibrated);
+    serial_cal.measured.record_into(&registry, "serial");
+    overlapped.measured.record_into(&registry, "overlapped_1");
+    overlapped.predicted().record_into(&registry, "predicted");
     let mut rows = vec![
-        ("serial (no overlap)".to_string(), serial_cal.measured),
-        ("overlapped, 1 sym worker".to_string(), overlapped.measured),
-        ("  cost-model prediction".to_string(), overlapped.predicted()),
+        ("serial (no overlap)".to_string(), "serial"),
+        ("overlapped, 1 sym worker".to_string(), "overlapped_1"),
+        ("  cost-model prediction".to_string(), "predicted"),
     ];
     if wide_workers > 1 {
         let wide = BatchExecutor::new(ExecutorConfig::overlapped(wide_workers)).run(&calibrated);
-        rows.push((format!("overlapped, {wide_workers} sym workers"), wide.measured));
+        wide.measured.record_into(&registry, "overlapped_wide");
+        rows.push((format!("overlapped, {wide_workers} sym workers"), "overlapped_wide"));
     }
-    for (name, r) in &rows {
+    let gauge = |name: &str, labels: &[(&str, &str)]| -> f64 {
+        let mut want: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        want.sort();
+        registry
+            .snapshot()
+            .iter()
+            .find_map(|m| match &m.value {
+                reason_telemetry::MetricValue::Gauge(g) if m.name == name && m.labels == want => {
+                    Some(*g)
+                }
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("missing gauge {name}{labels:?}"))
+    };
+    for (name, schedule) in &rows {
         let _ = writeln!(
             out,
             "{:>28} {:>12.4} {:>12.4} {:>7.1}%",
             name,
-            r.pipelined_s,
-            r.serial_s,
-            100.0 * r.overlap_gain()
+            gauge("pipeline_makespan_seconds", &[("schedule", schedule), ("mode", "pipelined")]),
+            gauge("pipeline_makespan_seconds", &[("schedule", schedule), ("mode", "serial")]),
+            100.0 * gauge("pipeline_overlap_gain", &[("schedule", schedule)])
         );
     }
     out.push_str("(paper: overlap hides the shorter stage; gain -> 50% on balanced stages)\n");

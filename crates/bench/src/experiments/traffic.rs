@@ -109,11 +109,11 @@ pub struct TrafficSummary {
 
 /// One registered tenant: a mass-probed random 3-SAT knowledge base
 /// plus its fixed menu of query shapes.
-struct TrafficKb {
-    name: String,
-    cnf: Cnf,
-    weights: WmcWeights,
-    shapes: Vec<QueryKind>,
+pub(crate) struct TrafficKb {
+    pub(crate) name: String,
+    pub(crate) cnf: Cnf,
+    pub(crate) weights: WmcWeights,
+    pub(crate) shapes: Vec<QueryKind>,
 }
 
 /// A precomputed Zipf(s) sampler over `0..n` via inverse-CDF lookup.
@@ -144,7 +144,7 @@ impl Zipf {
 /// The tenant set: six knowledge bases spanning n = 10..14, each
 /// seed-walked until it carries non-trivial mass (rare-event tenants
 /// would starve the bracket-containment guard of signal).
-fn traffic_kbs(seed: u64) -> Vec<TrafficKb> {
+pub(crate) fn traffic_kbs(seed: u64) -> Vec<TrafficKb> {
     let sizes = [(10usize, 30usize), (11, 33), (12, 36), (13, 39), (14, 42), (12, 38)];
     sizes
         .iter()
@@ -185,14 +185,19 @@ fn traffic_kbs(seed: u64) -> Vec<TrafficKb> {
 
 /// One generated arrival: `(kb index, shape index, deadline, arrival
 /// seconds)`.
-type Arrival = (usize, usize, Option<Duration>, f64);
+pub(crate) type Arrival = (usize, usize, Option<Duration>, f64);
 
 /// An open-loop Poisson workload at `qps`: exponential inter-arrivals,
 /// Zipf(1.2) tenant skew, Zipf(1.1) shape popularity, and a deadline
 /// mix of 30% deadline-free / 30% at 1 ms / 20% at 50 µs / 20% at 5 µs
 /// (the last tier sits right at the warm exact rung's modeled cost, so
 /// it exercises the degrade ladder even on an idle shard).
-fn traffic_workload(kbs: &[TrafficKb], count: usize, qps: f64, seed: u64) -> Vec<Arrival> {
+pub(crate) fn traffic_workload(
+    kbs: &[TrafficKb],
+    count: usize,
+    qps: f64,
+    seed: u64,
+) -> Vec<Arrival> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x0FFE12ED);
     let tenant_zipf = Zipf::new(kbs.len(), 1.2);
     let shape_zipf = Zipf::new(SHAPES_PER_KB, 1.1);
@@ -231,7 +236,7 @@ fn traffic_predictor() -> reason_approx::PredictConfig {
 /// The per-shard engine configuration: the approximate rung's sample
 /// cap is trimmed to bound real execution time, and the predictor is
 /// on so the degrade ladder's last rung is reachable.
-fn traffic_engine_config(seed: u64) -> ServeConfig {
+pub(crate) fn traffic_engine_config(seed: u64) -> ServeConfig {
     ServeConfig {
         router: RouterConfig { max_approx_samples: 2048, ..RouterConfig::default() },
         predictor: Some(traffic_predictor()),

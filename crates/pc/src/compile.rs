@@ -33,6 +33,7 @@
 use std::collections::HashMap;
 
 use reason_sat::{Clause, ClausePool, Cnf, Lit, Propagator, Var};
+use reason_telemetry::Telemetry;
 
 use crate::circuit::{Circuit, CircuitBuilder, NodeId, PcNode};
 use crate::infer::{EvalBuffer, Evidence};
@@ -207,7 +208,7 @@ pub fn compile_cnf_with_stats(
     weights: &WmcWeights,
     config: &CompileConfig,
 ) -> (Option<Circuit>, CompileStats) {
-    compile_cnf_inner(cnf, weights, config, None)
+    compile_cnf_inner(cnf, weights, config, None, None)
 }
 
 /// [`compile_cnf_with_stats`] through a caller-held cross-query
@@ -229,8 +230,28 @@ pub fn compile_cnf_cached(
     config: &CompileConfig,
     cache: &mut PersistentComponentCache,
 ) -> (Option<Circuit>, CompileStats) {
-    cache.bind_weights(weights);
-    compile_cnf_inner(cnf, weights, config, Some(cache))
+    compile_cnf_observed(cnf, weights, config, Some(cache), None)
+}
+
+/// The fully-instrumented entry point every other `compile_cnf*`
+/// variant funnels into: an optional cross-query cache plus an optional
+/// [`Telemetry`] sink. With telemetry attached, the
+/// propagate / component-split / cache-probe phases emit child spans
+/// under a `pc.compile` root, and the [`CompileStats`] counters land in
+/// the registry (`pc_propagations_total`, `pc_components_total`,
+/// `pc_cache_probes_total{result}`, ...). Instrumentation never changes
+/// the compiled circuit: phase timing only *reads* the injected clock.
+pub fn compile_cnf_observed(
+    cnf: &Cnf,
+    weights: &WmcWeights,
+    config: &CompileConfig,
+    mut cache: Option<&mut PersistentComponentCache>,
+    telemetry: Option<&Telemetry>,
+) -> (Option<Circuit>, CompileStats) {
+    if let Some(cache) = cache.as_deref_mut() {
+        cache.bind_weights(weights);
+    }
+    compile_cnf_inner(cnf, weights, config, cache, telemetry)
 }
 
 fn compile_cnf_inner(
@@ -238,6 +259,7 @@ fn compile_cnf_inner(
     weights: &WmcWeights,
     config: &CompileConfig,
     persistent: Option<&mut PersistentComponentCache>,
+    telemetry: Option<&Telemetry>,
 ) -> (Option<Circuit>, CompileStats) {
     assert_eq!(weights.len(), cnf.num_vars(), "weights arity mismatch");
     if let VarOrder::Scored(scores) = &config.order {
@@ -266,10 +288,16 @@ fn compile_cnf_inner(
         occ_scratch: vec![0; num_vars],
         stamp: 0,
         stats: CompileStats::default(),
+        telemetry,
+        phase_prop_s: 0.0,
+        phase_split_s: 0.0,
+        phase_probe_s: 0.0,
     };
+    let t_begin = telemetry.map(|t| t.now_s());
     let root = compiler.compile_top();
+    let phases = (compiler.phase_prop_s, compiler.phase_split_s, compiler.phase_probe_s);
     let mut stats = compiler.stats;
-    match root {
+    let result = match root {
         None => (None, stats),
         Some(root) => {
             let (arities, nodes) = compiler.builder.into_parts();
@@ -281,6 +309,47 @@ fn compile_cnf_inner(
             stats.edges = circuit.num_edges();
             (Some(circuit), stats)
         }
+    };
+    if let (Some(tel), Some(t0)) = (telemetry, t_begin) {
+        record_compile_telemetry(tel, t0, &result.1, result.0.is_some(), phases);
+    }
+    result
+}
+
+/// Pushes one compilation into an attached [`Telemetry`]: a
+/// `pc.compile` root span with sequential `pc.propagate` /
+/// `pc.component_split` / `pc.cache_probe` children (phase time laid
+/// out cumulatively from the compile's start), per-phase time
+/// histograms (seconds), and the [`CompileStats`] event counters.
+fn record_compile_telemetry(
+    tel: &Telemetry,
+    t0: f64,
+    stats: &CompileStats,
+    sat: bool,
+    (prop_s, split_s, probe_s): (f64, f64, f64),
+) {
+    let t1 = tel.now_s().max(t0);
+    let result = if sat { "sat" } else { "unsat" };
+    let reg = &tel.registry;
+    reg.counter("pc_compile_total", &[("result", result)]).inc();
+    reg.counter("pc_propagations_total", &[]).add(stats.propagations);
+    reg.counter("pc_decisions_total", &[]).add(stats.decisions);
+    reg.counter("pc_components_total", &[]).add(stats.components);
+    reg.counter("pc_cache_probes_total", &[("result", "hit")]).add(stats.cache_hits);
+    reg.counter("pc_cache_probes_total", &[("result", "miss")]).add(stats.cache_misses);
+    reg.counter("pc_persistent_probes_total", &[("result", "hit")]).add(stats.persistent_hits);
+    reg.counter("pc_persistent_probes_total", &[("result", "store")]).add(stats.persistent_stores);
+    reg.histogram("pc_compile_phase_seconds", &[("phase", "propagate")]).record(prop_s);
+    reg.histogram("pc_compile_phase_seconds", &[("phase", "component_split")]).record(split_s);
+    reg.histogram("pc_compile_phase_seconds", &[("phase", "cache_probe")]).record(probe_s);
+    let root = tel.tracer.record_span(0, "pc.compile", &[("result", result)], t0, t1);
+    let mut cursor = t0;
+    for (name, d) in
+        [("pc.propagate", prop_s), ("pc.component_split", split_s), ("pc.cache_probe", probe_s)]
+    {
+        let end = (cursor + d).min(t1);
+        tel.tracer.record_span_under(0, name, &[], cursor, end, root);
+        cursor = end;
     }
 }
 
@@ -554,16 +623,40 @@ struct TopDown<'a> {
     occ_scratch: Vec<u32>,
     stamp: u64,
     stats: CompileStats,
+    /// Optional observability sink; when attached the three compile
+    /// phases accumulate clock time below.
+    telemetry: Option<&'a Telemetry>,
+    phase_prop_s: f64,
+    phase_split_s: f64,
+    phase_probe_s: f64,
 }
 
 impl TopDown<'_> {
+    /// Clock read at a phase boundary; `None` when no telemetry is
+    /// attached (the phase accumulators then stay untouched — zero
+    /// overhead on unobserved compiles).
+    fn phase_start(&self) -> Option<f64> {
+        self.telemetry.map(|t| t.now_s())
+    }
+
+    /// Seconds since `t0`, or 0 when unobserved.
+    fn phase_elapsed(&self, t0: Option<f64>) -> f64 {
+        match (t0, self.telemetry) {
+            (Some(t0), Some(tel)) => (tel.now_s() - t0).max(0.0),
+            _ => 0.0,
+        }
+    }
+
     /// Top-level: propagate the full formula, then compile the residual
     /// as free leaves + independent components. Returns the root node,
     /// or `None` when the formula is unsatisfiable.
     fn compile_top(&mut self) -> Option<NodeId> {
         let all_clauses: Vec<u32> = (0..self.pool.num_clauses() as u32).collect();
         let all_vars: Vec<Var> = (0..self.pool.num_vars()).map(Var::new).collect();
-        if !self.prop.propagate(&self.pool, &all_clauses) {
+        let t0 = self.phase_start();
+        let ok = self.prop.propagate(&self.pool, &all_clauses);
+        self.phase_prop_s += self.phase_elapsed(t0);
+        if !ok {
             return None;
         }
         self.stats.propagations += self.prop.trail().len() as u64;
@@ -607,6 +700,7 @@ impl TopDown<'_> {
     /// `clause_ids` into variable-connected components, and the
     /// unassigned `vars` into component members vs. free variables.
     fn split_components(&mut self, clause_ids: &[u32], vars: &[Var]) -> (Vec<Var>, Vec<Component>) {
+        let t0 = self.phase_start();
         self.stamp += 1;
         let stamp = self.stamp;
         for &c in clause_ids {
@@ -656,6 +750,7 @@ impl TopDown<'_> {
             self.stats.components += 1;
             comps.push(comp);
         }
+        self.phase_split_s += self.phase_elapsed(t0);
         (free, comps)
     }
 
@@ -664,20 +759,22 @@ impl TopDown<'_> {
     /// in-compile cache, then (within the persistence depth) in the
     /// cross-query cache.
     fn compile_component(&mut self, comp: &Component) -> Option<NodeId> {
+        let t0 = self.phase_start();
         let key = self.component_key(comp);
         if let Some(&hit) = self.cache.get(&key) {
             self.stats.cache_hits += 1;
+            self.phase_probe_s += self.phase_elapsed(t0);
             return hit;
         }
         let persist = self.persistent.is_some() && self.depth <= self.persist_depth;
-        if persist {
-            let cached = self.persistent.as_mut().and_then(|p| p.probe(&key));
-            if let Some(fragment) = cached {
-                self.stats.persistent_hits += 1;
-                let node = fragment.map(|f| self.splice_fragment(&f));
-                self.cache.insert(key, node);
-                return node;
-            }
+        let cached =
+            if persist { self.persistent.as_mut().and_then(|p| p.probe(&key)) } else { None };
+        self.phase_probe_s += self.phase_elapsed(t0);
+        if let Some(fragment) = cached {
+            self.stats.persistent_hits += 1;
+            let node = fragment.map(|f| self.splice_fragment(&f));
+            self.cache.insert(key, node);
+            return node;
         }
         self.stats.cache_misses += 1;
         self.stats.decisions += 1;
@@ -754,7 +851,10 @@ impl TopDown<'_> {
         let mark = self.prop.mark();
         self.prop.assume(if value { v.pos() } else { v.neg() });
         let result = 'branch: {
-            if !self.prop.propagate(&self.pool, &comp.clauses) {
+            let t0 = self.phase_start();
+            let ok = self.prop.propagate(&self.pool, &comp.clauses);
+            self.phase_prop_s += self.phase_elapsed(t0);
+            if !ok {
                 break 'branch None;
             }
             let implied: Vec<Lit> = self.prop.trail()[mark + 1..].to_vec();
@@ -1195,6 +1295,39 @@ mod tests {
             }
         }
         total
+    }
+
+    #[test]
+    fn observed_compile_reports_counters_and_spans() {
+        use reason_telemetry::{is_well_formed_forest, MetricValue, Telemetry, VirtualClock};
+        let clock = VirtualClock::shared();
+        let tel = Telemetry::with_clock(clock);
+        let cnf = random_ksat(8, 20, 3, 7);
+        let weights = WmcWeights::uniform(8);
+        let (observed, stats) =
+            compile_cnf_observed(&cnf, &weights, &CompileConfig::default(), None, Some(&tel));
+        let (plain, plain_stats) =
+            compile_cnf_with_stats(&cnf, &weights, &CompileConfig::default());
+        // Instrumentation must not perturb the compilation itself.
+        assert_eq!(observed.is_some(), plain.is_some());
+        assert_eq!(stats, plain_stats);
+        let snap = tel.registry.snapshot();
+        let counter = |name: &str| {
+            snap.iter()
+                .filter(|m| m.name == name)
+                .map(|m| match m.value {
+                    MetricValue::Counter(v) => v,
+                    _ => panic!("{name} is not a counter"),
+                })
+                .sum::<u64>()
+        };
+        assert_eq!(counter("pc_propagations_total"), stats.propagations);
+        assert_eq!(counter("pc_decisions_total"), stats.decisions);
+        assert_eq!(counter("pc_cache_probes_total"), stats.cache_hits + stats.cache_misses);
+        let spans = tel.tracer.finished();
+        assert!(spans.iter().any(|s| s.name == "pc.compile"));
+        assert!(spans.iter().any(|s| s.name == "pc.propagate"));
+        assert!(is_well_formed_forest(&spans));
     }
 
     #[test]

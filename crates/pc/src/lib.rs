@@ -69,9 +69,9 @@ pub mod structure;
 
 pub use circuit::{Circuit, CircuitBuilder, CircuitError, NodeId, PcNode};
 pub use compile::{
-    compile_cnf, compile_cnf_cached, compile_cnf_shannon, compile_cnf_with, compile_cnf_with_stats,
-    weighted_model_count, CompileConfig, CompileStats, CompiledWmc, PersistentCacheStats,
-    PersistentComponentCache, VarOrder, WmcWeights,
+    compile_cnf, compile_cnf_cached, compile_cnf_observed, compile_cnf_shannon, compile_cnf_with,
+    compile_cnf_with_stats, weighted_model_count, CompileConfig, CompileStats, CompiledWmc,
+    PersistentCacheStats, PersistentComponentCache, VarOrder, WmcWeights,
 };
 pub use dnnf::{BatchBuffer, Dnnf, DnnfBatch, DnnfBuffer, DnnfError};
 pub use fingerprint::{ring_mix, FormulaFingerprint};

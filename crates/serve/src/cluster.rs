@@ -28,8 +28,11 @@
 //! via [`ServeEngine::serve_routed`], whose answers are bit-identical
 //! to a single engine serving the same queries on the same routes.
 
+use std::sync::Arc;
+
 use reason_pc::{FormulaFingerprint, WmcWeights};
 use reason_sat::Cnf;
+use reason_telemetry::Telemetry;
 
 use crate::engine::{Answer, KbId, ServeConfig, ServeEngine, ServeError};
 use crate::router::{Admission, KbTelemetry, Query, QueryRouter, Route};
@@ -123,6 +126,31 @@ pub struct ClusterKbId {
     index: usize,
 }
 
+/// Where one query's modeled latency went: queueing behind the shard's
+/// backlog, compiling a cold artifact, and executing the admitted
+/// route. All fields are seconds of modeled (virtual) time, and they
+/// partition [`ClusterOutcome::modeled_latency_s`] exactly:
+/// `queue_s + compile_s + exec_s == modeled_latency_s` (up to float
+/// association). Rejected queries carry their sinking backlog in
+/// `queue_s` and zero elsewhere.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageBreakdown {
+    /// Seconds the query waited behind earlier work on its shard.
+    pub queue_s: f64,
+    /// Modeled cold-compile seconds; `0.0` on warm or non-exact routes.
+    pub compile_s: f64,
+    /// Modeled service seconds for the route itself (evaluations,
+    /// samples, or one predictor pass).
+    pub exec_s: f64,
+}
+
+impl StageBreakdown {
+    /// Sum of the stages — reproduces the modeled latency.
+    pub fn total(&self) -> f64 {
+        self.queue_s + self.compile_s + self.exec_s
+    }
+}
+
 /// One query's fate through the cluster: where the ring placed it, what
 /// admission decided, and what came back.
 #[derive(Debug, Clone)]
@@ -131,11 +159,16 @@ pub struct ClusterOutcome {
     pub shard: usize,
     /// The pre-dispatch admission verdict.
     pub decision: Admission,
+    /// Why admission picked that rung (see
+    /// [`QueryRouter::admit_explained`]).
+    pub reason: &'static str,
     /// The answer; `None` exactly when the query was rejected.
     pub answer: Option<Answer>,
     /// Arrival-to-completion seconds under the deterministic queue
     /// model (for rejects: the backlog that sank the query).
     pub modeled_latency_s: f64,
+    /// Where the modeled latency went, stage by stage.
+    pub stage: StageBreakdown,
     /// `true` when the modeled latency exceeds the query's deadline
     /// (rejects always miss; deadline-free queries never do).
     pub deadline_miss: bool,
@@ -174,10 +207,13 @@ pub struct ClusterReport {
 /// base. Unlike the engines' live telemetry (which measures wall
 /// clocks), this model is a pure function of the registration and the
 /// admission history, so replays reproduce it exactly.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct KbModel {
     shard: usize,
     kb: KbId,
+    /// Registration name — the `tenant` label on cluster metrics and
+    /// spans.
+    name: String,
     telemetry: KbTelemetry,
 }
 
@@ -197,6 +233,17 @@ pub struct ServeCluster {
     /// Per-shard virtual clock: the modeled time each shard's queue
     /// drains. Admission charges `max(0, free_at - arrival)` as backlog.
     free_at: Vec<f64>,
+    /// Optional observability sink: admission counters and per-query
+    /// modeled span chains, plus whatever the shard engines record once
+    /// attached.
+    telemetry: Option<Arc<Telemetry>>,
+    /// Trace track of the next query's span chain. Tracks start at 1
+    /// (track 0 carries the engines' wall-clock spans) and each query
+    /// gets its own: a queued query's arrival-to-completion interval
+    /// genuinely overlaps its predecessor's service interval in virtual
+    /// time, which a shared track could not represent as a well-formed
+    /// forest.
+    next_track: u64,
 }
 
 impl ServeCluster {
@@ -215,7 +262,34 @@ impl ServeCluster {
             admission: QueryRouter::new(config.engine.router),
             kbs: Vec::new(),
             free_at: vec![0.0; config.shards],
+            telemetry: None,
+            next_track: 1,
         }
+    }
+
+    /// Attaches an observability sink. The cluster records labeled
+    /// admission counters (`cluster_admissions_total{shard, tenant,
+    /// route, reason}`, `cluster_rejects_total`,
+    /// `cluster_deadline_miss_total`) and, for every query, a modeled
+    /// span chain on its own track — `cluster.query` spanning arrival
+    /// to modeled completion, with `cluster.admit`, `cluster.route`,
+    /// `queue.wait`, `store.probe`, `serve.compile` (cold exact only)
+    /// and `serve.eval` children, every span labeled with shard and
+    /// tenant — all stamped with virtual (modeled) timestamps, so
+    /// traces replay byte-identically. Each shard engine is attached
+    /// too, contributing its wall-clock store and compile
+    /// instrumentation on track 0.
+    pub fn attach_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        for (shard, engine) in self.shards.iter_mut().enumerate() {
+            engine.attach_telemetry(telemetry.clone(), shard);
+        }
+        self.telemetry = Some(telemetry);
+    }
+
+    /// The deterministic per-KB cost models admission judges against,
+    /// as `(tenant, shard, model)` rows in registration order.
+    pub fn kb_models(&self) -> Vec<(String, usize, KbTelemetry)> {
+        self.kbs.iter().map(|m| (m.name.clone(), m.shard, m.telemetry)).collect()
     }
 
     /// Registers a knowledge base on the shard its fingerprint hashes
@@ -230,11 +304,12 @@ impl ServeCluster {
         let name = name.into();
         let fingerprint = FormulaFingerprint::from_parts(cnf.num_vars(), cnf.clauses(), &weights);
         let shard = self.ring.shard_for(&fingerprint);
-        let kb = self.shards[shard].register(name, cnf, weights);
+        let kb = self.shards[shard].register(name.clone(), cnf, weights);
         let registered = self.shards[shard].kb(kb);
         self.kbs.push(KbModel {
             shard,
             kb,
+            name,
             telemetry: KbTelemetry::prior(registered.num_vars(), registered.num_clauses()),
         });
         ClusterKbId { index: self.kbs.len() - 1 }
@@ -309,27 +384,90 @@ impl ServeCluster {
             let model = &self.kbs[id.index];
             let shard = model.shard;
             let backlog_s = (self.free_at[shard] - t).max(0.0);
-            let decision = self.admission.admit(query, &model.telemetry, backlog_s);
+            let (decision, reason) =
+                self.admission.admit_explained(query, &model.telemetry, backlog_s);
             match decision {
                 Admission::Reject { .. } => {
                     stats.rejected += 1;
                     stats.deadline_misses += 1;
+                    if let Some(tel) = &self.telemetry {
+                        let track = self.next_track;
+                        let shard_label = shard.to_string();
+                        let labels: [(&str, &str); 3] =
+                            [("shard", &shard_label), ("tenant", &model.name), ("reason", reason)];
+                        tel.registry.counter("cluster_rejects_total", &labels).inc();
+                        tel.registry
+                            .counter("cluster_deadline_miss_total", &[("shard", &shard_label)])
+                            .inc();
+                        let root = tel.tracer.record_span(
+                            track,
+                            "cluster.query",
+                            &[
+                                ("shard", &shard_label),
+                                ("tenant", &model.name),
+                                ("route", "reject"),
+                                ("reason", reason),
+                            ],
+                            *t,
+                            *t,
+                        );
+                        tel.tracer.record_span_under(
+                            track,
+                            "cluster.admit",
+                            &[("decision", "reject")],
+                            *t,
+                            *t,
+                            root,
+                        );
+                    }
+                    self.next_track += 1;
                     outcomes.push(ClusterOutcome {
                         shard,
                         decision,
+                        reason,
                         answer: None,
                         modeled_latency_s: backlog_s,
+                        stage: StageBreakdown { queue_s: backlog_s, compile_s: 0.0, exec_s: 0.0 },
                         deadline_miss: true,
                         latency_s: 0.0,
                     });
                 }
                 Admission::Admit(route) => {
                     let cost_s = modeled_cost(route, query, &model.telemetry);
+                    let cold = matches!(route, Route::Exact) && !model.telemetry.compiled;
+                    let compile_s = if cold { model.telemetry.compile_s } else { 0.0 };
                     let start = self.free_at[shard].max(*t);
                     self.free_at[shard] = start + cost_s;
                     let modeled_latency_s = self.free_at[shard] - t;
+                    let stage = StageBreakdown {
+                        queue_s: (start - t).max(0.0),
+                        compile_s,
+                        exec_s: cost_s - compile_s,
+                    };
                     let deadline_miss =
                         query.deadline.is_some_and(|d| modeled_latency_s > d.as_secs_f64());
+                    let route_label = match route {
+                        Route::Exact => "exact",
+                        Route::Approx { .. } => "approx",
+                        Route::Predicted => "predicted",
+                    };
+                    if let Some(tel) = &self.telemetry {
+                        record_admit_telemetry(
+                            tel,
+                            self.next_track,
+                            shard,
+                            &model.name,
+                            route_label,
+                            reason,
+                            deadline_miss,
+                            *t,
+                            start,
+                            &stage,
+                            cold,
+                            matches!(route, Route::Exact),
+                        );
+                    }
+                    self.next_track += 1;
                     match route {
                         Route::Exact => {
                             stats.exact += 1;
@@ -350,8 +488,10 @@ impl ServeCluster {
                     outcomes.push(ClusterOutcome {
                         shard,
                         decision,
+                        reason,
                         answer: None,
                         modeled_latency_s,
+                        stage,
                         deadline_miss,
                         latency_s: 0.0,
                     });
@@ -366,10 +506,13 @@ impl ServeCluster {
         // Dispatch: every admitted query executes for real on its
         // shard, on the route admission pre-decided.
         for (id, entries) in groups {
-            let model = self.kbs[id.index];
+            let (shard, kb) = {
+                let model = &self.kbs[id.index];
+                (model.shard, model.kb)
+            };
             let queries: Vec<Query> = entries.iter().map(|(_, q, _)| q.clone()).collect();
             let routes: Vec<Route> = entries.iter().map(|(_, _, r)| *r).collect();
-            let report = self.shards[model.shard].serve_routed(model.kb, &queries, &routes)?;
+            let report = self.shards[shard].serve_routed(kb, &queries, &routes)?;
             for ((i, _, _), outcome) in entries.iter().zip(report.outcomes) {
                 outcomes[*i].answer = Some(outcome.answer);
                 outcomes[*i].latency_s = outcome.latency_s;
@@ -378,6 +521,65 @@ impl ServeCluster {
 
         Ok(ClusterReport { outcomes, stats })
     }
+}
+
+/// Emits the counters and the modeled span chain for one admitted
+/// query: a `cluster.query` root on the query's own track spanning
+/// arrival to modeled completion, with instantaneous `cluster.admit` /
+/// `cluster.route` markers, a `queue.wait` child covering the backlog,
+/// a `store.probe` marker on exact routes (`result = hit|miss`), a
+/// `serve.compile` child on cold exact routes, and a `serve.eval`
+/// child for the service itself. All timestamps are virtual (modeled)
+/// seconds, so the chain is identical on every replay of a workload.
+#[allow(clippy::too_many_arguments)]
+fn record_admit_telemetry(
+    tel: &Telemetry,
+    track: u64,
+    shard: usize,
+    tenant: &str,
+    route_label: &'static str,
+    reason: &'static str,
+    deadline_miss: bool,
+    t: f64,
+    start: f64,
+    stage: &StageBreakdown,
+    cold: bool,
+    exact: bool,
+) {
+    let shard_label = shard.to_string();
+    let labels: [(&str, &str); 4] =
+        [("shard", &shard_label), ("tenant", tenant), ("route", route_label), ("reason", reason)];
+    tel.registry.counter("cluster_admissions_total", &labels).inc();
+    if deadline_miss {
+        tel.registry.counter("cluster_deadline_miss_total", &[("shard", &shard_label)]).inc();
+    }
+    let end = start + stage.compile_s + stage.exec_s;
+    let root = tel.tracer.record_span(track, "cluster.query", &labels, t, end);
+    tel.tracer.record_span_under(track, "cluster.admit", &[("decision", "admit")], t, t, root);
+    tel.tracer.record_span_under(track, "cluster.route", &[("route", route_label)], t, t, root);
+    tel.tracer.record_span_under(track, "queue.wait", &[], t, start, root);
+    if exact {
+        let result = if cold { "miss" } else { "hit" };
+        tel.tracer.record_span_under(
+            track,
+            "store.probe",
+            &[("result", result)],
+            start,
+            start,
+            root,
+        );
+    }
+    if cold {
+        tel.tracer.record_span_under(
+            track,
+            "serve.compile",
+            &[("tenant", tenant)],
+            start,
+            start + stage.compile_s,
+            root,
+        );
+    }
+    tel.tracer.record_span_under(track, "serve.eval", &[], start + stage.compile_s, end, root);
 }
 
 /// Modeled service seconds for an admitted route, from the same
@@ -549,6 +751,87 @@ mod tests {
             }
             other => panic!("expected bounds, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn telemetry_records_stage_sums_chains_and_reasons() {
+        use reason_telemetry::{is_well_formed_forest, Telemetry, VirtualClock};
+
+        let tel = Arc::new(Telemetry::with_clock(VirtualClock::shared()));
+        let cnf = chain_cnf(8);
+        let mut cluster = ServeCluster::new(ClusterConfig::with_shards(2));
+        cluster.attach_telemetry(tel.clone());
+        let kb = cluster.register("chain", &cnf, WmcWeights::uniform(8));
+
+        let arrivals = vec![
+            (kb, Query::exact(QueryKind::Wmc), 0.0), // cold: compiles
+            (kb, Query::exact(QueryKind::Wmc), 1.0), // warm: store hit
+            (kb, Query::with_deadline(QueryKind::Wmc, Duration::from_nanos(1)), 1.0),
+        ];
+        let report = cluster.serve_at(&arrivals).unwrap();
+
+        // Stage breakdowns partition the modeled latency exactly.
+        for o in &report.outcomes {
+            let err = (o.stage.total() - o.modeled_latency_s).abs();
+            assert!(err <= 1e-12 * o.modeled_latency_s.max(1.0), "{o:?}");
+        }
+        assert!(report.outcomes[0].stage.compile_s > 0.0, "cold query pays the compile");
+        assert_eq!(report.outcomes[1].stage.compile_s, 0.0, "warm query does not");
+        assert!(matches!(report.outcomes[2].decision, Admission::Reject { .. }));
+        assert_eq!(report.outcomes[2].reason, "backlog_reject");
+
+        // The modeled spans form one chain per query, warm and cold
+        // distinguishable by their store.probe result and compile child.
+        let spans = tel.tracer.finished();
+        assert!(is_well_formed_forest(&spans), "cluster spans must nest cleanly");
+        let roots: Vec<&reason_telemetry::SpanRecord> =
+            spans.iter().filter(|s| s.name == "cluster.query").collect();
+        assert_eq!(roots.len(), 3, "one root span per submitted query");
+        let children_of = |root: u64| -> Vec<&reason_telemetry::SpanRecord> {
+            spans.iter().filter(|s| s.parent == Some(root)).collect()
+        };
+        let probe_result = |root: u64| -> Option<String> {
+            children_of(root).iter().find(|s| s.name == "store.probe").map(|s| {
+                s.labels.iter().find(|(k, _)| k == "result").map(|(_, v)| v.clone()).unwrap()
+            })
+        };
+        let cold_root = roots.iter().find(|r| probe_result(r.id).as_deref() == Some("miss"));
+        let warm_root = roots.iter().find(|r| probe_result(r.id).as_deref() == Some("hit"));
+        let cold_root = cold_root.expect("one cold query").id;
+        let warm_root = warm_root.expect("one warm query").id;
+        for (root, wants_compile) in [(cold_root, true), (warm_root, false)] {
+            let names: Vec<&str> = children_of(root).iter().map(|s| s.name.as_str()).collect();
+            assert!(names.contains(&"cluster.admit"), "{names:?}");
+            assert!(names.contains(&"cluster.route"), "{names:?}");
+            assert!(names.contains(&"queue.wait"), "{names:?}");
+            assert!(names.contains(&"serve.eval"), "{names:?}");
+            assert_eq!(names.contains(&"serve.compile"), wants_compile, "{names:?}");
+        }
+        for root in &roots {
+            for key in ["shard", "tenant", "route", "reason"] {
+                assert!(root.labels.iter().any(|(k, _)| k == key), "missing {key}");
+            }
+        }
+
+        // Counters landed with the right labels.
+        let snap = tel.registry.snapshot();
+        let sum = |name: &str| -> u64 {
+            snap.iter()
+                .filter(|m| m.name == name)
+                .map(|m| match &m.value {
+                    reason_telemetry::MetricValue::Counter(v) => *v,
+                    _ => 0,
+                })
+                .sum()
+        };
+        assert_eq!(sum("cluster_admissions_total"), 2);
+        assert_eq!(sum("cluster_rejects_total"), 1);
+        assert!(
+            snap.iter().any(|m| m.name == "cluster_admissions_total"
+                && m.labels.contains(&("tenant".to_string(), "chain".to_string()))
+                && m.labels.contains(&("route".to_string(), "exact".to_string()))),
+            "admissions must carry tenant and route labels"
+        );
     }
 
     #[test]

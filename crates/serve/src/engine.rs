@@ -29,6 +29,7 @@ use reason_system::{
     BatchExecutor, BatchTask, ExecutorConfig, NeuralStage, PipelineReport, ServeQuery,
     SymbolicStage, TaskResult, Verdict,
 };
+use reason_telemetry::Telemetry;
 
 use crate::kb::KnowledgeBase;
 use crate::router::{KbTelemetry, Query, QueryKind, QueryRouter, Route, RouterConfig, RouterStats};
@@ -186,6 +187,12 @@ pub struct ServeEngine {
     kbs: Vec<KbEntry>,
     buf: DnnfBuffer,
     served: u64,
+    /// Attached observability sink (shared with the store; `None` =
+    /// zero-overhead unobserved serving).
+    telemetry: Option<Arc<Telemetry>>,
+    /// The `shard` label value instrumented metrics carry ("0" for a
+    /// standalone engine).
+    shard_label: String,
 }
 
 impl ServeEngine {
@@ -198,7 +205,27 @@ impl ServeEngine {
             kbs: Vec::new(),
             buf: DnnfBuffer::new(),
             served: 0,
+            telemetry: None,
+            shard_label: "0".to_string(),
         }
+    }
+
+    /// Attaches a telemetry sink. From now on the store's
+    /// lookups/evictions, every routed query, and every compilation
+    /// (including the compiler's internal phases) land in the sink's
+    /// registry and tracer, labeled `shard` (the cluster passes the
+    /// shard index; standalone engines are shard 0).
+    pub fn attach_telemetry(&mut self, telemetry: Arc<Telemetry>, shard: usize) {
+        self.shard_label = shard.to_string();
+        self.store.attach_telemetry(&telemetry, &[("shard", &self.shard_label)]);
+        self.telemetry = Some(telemetry);
+    }
+
+    /// The live routing cost model of every registered knowledge base,
+    /// as `(name, telemetry)` pairs — the serializable snapshot
+    /// (`KbTelemetry::snapshot`) `reason-eval` emits as JSON.
+    pub fn telemetry_snapshots(&self) -> Vec<(String, KbTelemetry)> {
+        self.kbs.iter().map(|e| (e.kb.name().to_string(), e.telemetry)).collect()
     }
 
     /// Registers a knowledge base. Registration is cheap — compilation
@@ -371,6 +398,21 @@ impl ServeEngine {
         routes: &[Route],
     ) -> Result<ServeReport, ServeError> {
         assert_eq!(routes.len(), queries.len(), "one route per query");
+        if let Some(tel) = &self.telemetry {
+            for route in routes {
+                let name = match route {
+                    Route::Exact => "exact",
+                    Route::Approx { .. } => "approx",
+                    Route::Predicted => "predicted",
+                };
+                tel.registry
+                    .counter(
+                        "serve_queries_total",
+                        &[("shard", &self.shard_label), ("route", name)],
+                    )
+                    .inc();
+            }
+        }
         if routes.iter().any(|r| matches!(r, Route::Exact)) {
             self.ensure_compiled(id)?;
         }
@@ -527,7 +569,8 @@ impl ServeEngine {
             }
         }
 
-        let report = BatchExecutor::new(self.config.executor).run(&tasks);
+        let report = BatchExecutor::new(self.config.executor)
+            .run_with_telemetry(&tasks, self.telemetry.as_deref());
         self.served += queries.len() as u64;
 
         // Feed measured latencies back into the telemetry. The exact
@@ -566,7 +609,15 @@ impl ServeEngine {
             }
         }
 
-        let outcomes = plans.iter().map(|plan| outcome(plan, &report.results)).collect();
+        let outcomes: Vec<ServeOutcome> =
+            plans.iter().map(|plan| outcome(plan, &report.results)).collect();
+        if let Some(tel) = &self.telemetry {
+            let latency =
+                tel.registry.histogram("serve_latency_seconds", &[("shard", &self.shard_label)]);
+            for o in &outcomes {
+                latency.record(o.latency_s);
+            }
+        }
         Ok(ServeReport { outcomes, measured: report.measured })
     }
 
@@ -575,6 +626,7 @@ impl ServeEngine {
     /// latency into the telemetry; trains the prediction net on first
     /// compile when configured.
     fn ensure_compiled(&mut self, id: KbId) -> Result<(), ServeError> {
+        let telemetry = self.telemetry.clone();
         let entry = &mut self.kbs[id.0];
         let revision = entry.kb.revision();
         let fp = entry.kb.fingerprint();
@@ -585,6 +637,21 @@ impl ServeEngine {
         let hot = self.store.get(&fp).is_some();
         if oracle_fresh && hot {
             return Ok(());
+        }
+        if let Some(tel) = &telemetry {
+            let kind = if self.store.contains(&fp) {
+                "rehydrate" // artifact hot, oracle stale
+            } else if oracle_fresh {
+                "reflatten" // oracle fresh, artifact evicted
+            } else {
+                "cold" // full compilation
+            };
+            tel.registry
+                .counter(
+                    "serve_compiles_total",
+                    &[("shard", &self.shard_label), ("tenant", entry.kb.name()), ("kind", kind)],
+                )
+                .inc();
         }
         if let Some(stored) = self.store.peek(&fp) {
             // Rehydrate the oracle from the stored artifact.
@@ -610,9 +677,19 @@ impl ServeEngine {
             let (compile_s, stats) = (entry.last_compile_s, entry.last_stats);
             self.store.insert(fp, StoredCircuit { dnnf, circuit, z, compile_s, stats });
         } else {
+            let span = telemetry.as_ref().map(|tel| {
+                tel.tracer.span_on(
+                    0,
+                    "serve.compile",
+                    &[("shard", &self.shard_label), ("tenant", entry.kb.name())],
+                )
+            });
             let t0 = Instant::now();
-            let (circuit, stats) = entry.kb.compile();
+            let (circuit, stats) = entry.kb.compile_observed(telemetry.as_deref());
             let compile_s = t0.elapsed().as_secs_f64();
+            if let Some(span) = span {
+                span.end();
+            }
             let Some(circuit) = circuit else {
                 return Err(ServeError::NoMass(entry.kb.name().to_string()));
             };

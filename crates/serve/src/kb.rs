@@ -21,9 +21,11 @@
 //! function of the logic, not of literal spelling.
 
 use reason_pc::{
-    compile_cnf_cached, Circuit, CompileConfig, CompileStats, PersistentComponentCache, WmcWeights,
+    compile_cnf_observed, Circuit, CompileConfig, CompileStats, PersistentComponentCache,
+    WmcWeights,
 };
 use reason_sat::{Clause, Cnf, Lit};
+use reason_telemetry::Telemetry;
 
 use crate::fingerprint::FormulaFingerprint;
 
@@ -155,7 +157,23 @@ impl KnowledgeBase {
     /// (`None` when the formula carries no mass) and the compile
     /// counters, whose `persistent_hits` field reports the reuse.
     pub fn compile(&mut self) -> (Option<Circuit>, CompileStats) {
-        compile_cnf_cached(&self.cnf(), &self.weights, &self.config, &mut self.cache)
+        self.compile_observed(None)
+    }
+
+    /// [`compile`](Self::compile) with an optional telemetry sink: the
+    /// compiler's propagate / component-split / cache-probe phases emit
+    /// spans and counters (see [`reason_pc::compile_cnf_observed`]).
+    pub fn compile_observed(
+        &mut self,
+        telemetry: Option<&Telemetry>,
+    ) -> (Option<Circuit>, CompileStats) {
+        compile_cnf_observed(
+            &self.cnf(),
+            &self.weights,
+            &self.config,
+            Some(&mut self.cache),
+            telemetry,
+        )
     }
 
     /// The cross-query component cache (sizes, probe counters).

@@ -66,7 +66,7 @@ pub mod store;
 
 pub use cluster::{
     AdmissionStats, ClusterConfig, ClusterKbId, ClusterOutcome, ClusterReport, HashRing,
-    ServeCluster,
+    ServeCluster, StageBreakdown,
 };
 pub use engine::{Answer, KbId, ServeConfig, ServeEngine, ServeError, ServeOutcome, ServeReport};
 pub use kb::KnowledgeBase;

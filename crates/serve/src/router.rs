@@ -185,6 +185,20 @@ impl KbTelemetry {
         let compile = if self.compiled { 0.0 } else { self.compile_s };
         compile + kind.exact_evals() * self.eval_s
     }
+
+    /// The state as `(field, value)` pairs — the serializable snapshot
+    /// of the router's EWMA cost model (`reason-eval` emits these as
+    /// JSON next to every traffic sweep). Booleans encode as 0/1; the
+    /// seconds fields are the live EWMAs the ladder judges with.
+    pub fn snapshot(&self) -> [(&'static str, f64); 5] {
+        [
+            ("compiled", f64::from(u8::from(self.compiled))),
+            ("compile_s", self.compile_s),
+            ("eval_s", self.eval_s),
+            ("sample_s", self.sample_s),
+            ("has_predictor", f64::from(u8::from(self.has_predictor))),
+        ]
+    }
 }
 
 /// Per-route admission counters.
@@ -251,29 +265,50 @@ impl QueryRouter {
     /// are touched and only the arguments feed the decision, so a
     /// replayed workload re-derives the identical admission sequence.
     pub fn admit(&self, query: &Query, t: &KbTelemetry, backlog_s: f64) -> Admission {
+        self.admit_explained(query, t, backlog_s).0
+    }
+
+    /// [`admit`](Self::admit), also naming *why* the ladder landed
+    /// where it did. The reason is a stable label
+    /// (`no_deadline` / `exact_fit` / `not_degradable` /
+    /// `deadline_approx` / `deadline_predicted` / `approx_floor` /
+    /// `backlog_reject`) so instrumented callers can expose degrade
+    /// decisions as labeled metrics without re-deriving the ladder.
+    pub fn admit_explained(
+        &self,
+        query: &Query,
+        t: &KbTelemetry,
+        backlog_s: f64,
+    ) -> (Admission, &'static str) {
         let Some(deadline) = query.deadline else {
-            return Admission::Admit(Route::Exact);
+            return (Admission::Admit(Route::Exact), "no_deadline");
         };
         let budget_s = deadline.as_secs_f64() * self.config.deadline_safety - backlog_s.max(0.0);
         if budget_s <= 0.0 {
-            return Admission::Reject { backlog_s };
+            return (Admission::Reject { backlog_s }, "backlog_reject");
         }
-        Admission::Admit(self.ladder(query, t, budget_s))
+        let (route, reason) = self.ladder(query, t, budget_s);
+        (Admission::Admit(route), reason)
     }
 
     fn decide(&self, query: &Query, t: &KbTelemetry) -> Route {
         let Some(deadline) = query.deadline else {
             return Route::Exact;
         };
-        self.ladder(query, t, deadline.as_secs_f64() * self.config.deadline_safety)
+        self.ladder(query, t, deadline.as_secs_f64() * self.config.deadline_safety).0
     }
 
-    /// The degrade ladder under an effective budget of `budget_s`.
-    fn ladder(&self, query: &Query, t: &KbTelemetry, budget_s: f64) -> Route {
-        if t.exact_cost(&query.kind) <= budget_s || !query.kind.degradable() {
+    /// The degrade ladder under an effective budget of `budget_s`,
+    /// returning the route plus its reason label (see
+    /// [`admit_explained`](Self::admit_explained)).
+    fn ladder(&self, query: &Query, t: &KbTelemetry, budget_s: f64) -> (Route, &'static str) {
+        if t.exact_cost(&query.kind) <= budget_s {
+            return (Route::Exact, "exact_fit");
+        }
+        if !query.kind.degradable() {
             // Distribution/assignment queries have no approximate rung:
             // they take the exact path even past their deadline.
-            return Route::Exact;
+            return (Route::Exact, "not_degradable");
         }
         // Truncation floors the fitted budget at 0 under deadlines
         // tighter than one sample's latency; clamp to 1 so the anytime
@@ -283,14 +318,15 @@ impl QueryRouter {
         if samples >= self.config.min_approx_samples {
             // The trailing clamp keeps a degenerate zero cap from
             // resurrecting the zero-sample budget.
-            return Route::Approx { samples: samples.min(self.config.max_approx_samples).max(1) };
+            let samples = samples.min(self.config.max_approx_samples).max(1);
+            return (Route::Approx { samples }, "deadline_approx");
         }
         if t.has_predictor {
-            return Route::Predicted;
+            return (Route::Predicted, "deadline_predicted");
         }
         // No predictor trained yet: the smallest sound approximation is
         // still better than silently blowing the deadline on exact.
-        Route::Approx { samples: self.config.min_approx_samples.max(1) }
+        (Route::Approx { samples: self.config.min_approx_samples.max(1) }, "approx_floor")
     }
 }
 
@@ -453,6 +489,48 @@ mod tests {
             assert_eq!(admitted, router.admit(&q, &t, 0.0), "admission must be replayable");
             assert_eq!(admitted.route(), Some(router.route(&q, &t)), "idle admission ≡ routing");
         }
+    }
+
+    #[test]
+    fn admit_explained_names_every_rung() {
+        let router = QueryRouter::default();
+        let t = hot_telemetry();
+        let free = Query::exact(QueryKind::Wmc);
+        assert_eq!(router.admit_explained(&free, &t, 0.0).1, "no_deadline");
+        let q = Query::with_deadline(QueryKind::Wmc, Duration::from_millis(10));
+        assert_eq!(router.admit_explained(&q, &t, 0.0).1, "exact_fit");
+        assert_eq!(router.admit_explained(&q, &t, 1.0).1, "backlog_reject");
+        let cold = KbTelemetry { compiled: false, ..t };
+        assert_eq!(router.admit_explained(&q, &cold, 0.0).1, "deadline_approx");
+        let m = Query::with_deadline(QueryKind::Mpe(Evidence::empty(4)), Duration::from_nanos(10));
+        // Tiny deadline but no backlog: the non-degradable kind stays
+        // exact and says so.
+        assert_eq!(router.admit_explained(&m, &cold, 0.0).1, "not_degradable");
+        let tight = Query::with_deadline(QueryKind::Wmc, Duration::from_nanos(500));
+        assert_eq!(router.admit_explained(&tight, &t, 0.0).1, "deadline_predicted");
+        let no_net = KbTelemetry { has_predictor: false, ..t };
+        assert_eq!(router.admit_explained(&tight, &no_net, 0.0).1, "approx_floor");
+        // The explained admission and the plain one always agree.
+        for (query, tel, backlog) in
+            [(&q, &t, 0.0), (&q, &cold, 0.0), (&tight, &no_net, 0.0), (&q, &t, 1.0)]
+        {
+            assert_eq!(
+                router.admit(query, tel, backlog),
+                router.admit_explained(query, tel, backlog).0
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_snapshot_round_trips_the_state() {
+        let t = hot_telemetry();
+        let snap = t.snapshot();
+        let get = |k: &str| snap.iter().find(|(n, _)| *n == k).unwrap().1;
+        assert_eq!(get("compiled"), 1.0);
+        assert_eq!(get("compile_s"), t.compile_s);
+        assert_eq!(get("eval_s"), t.eval_s);
+        assert_eq!(get("sample_s"), t.sample_s);
+        assert_eq!(get("has_predictor"), 1.0);
     }
 
     #[test]

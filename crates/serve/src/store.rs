@@ -26,6 +26,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use reason_pc::{Circuit, CompileStats, Dnnf};
+use reason_telemetry::{Counter, Gauge, Telemetry};
 
 use crate::fingerprint::FormulaFingerprint;
 
@@ -136,6 +137,36 @@ impl Slot {
     }
 }
 
+/// Cached registry handles for an attached telemetry sink — resolved
+/// once at attach time so the lookup hot path pays one atomic
+/// increment, never a registry lock.
+#[derive(Debug)]
+struct StoreMetrics {
+    hits: Counter,
+    misses: Counter,
+    insertions: Counter,
+    evictions: Counter,
+    entries: Gauge,
+    bytes: Gauge,
+}
+
+impl StoreMetrics {
+    fn new(tel: &Telemetry, labels: &[(&str, &str)]) -> Self {
+        let mut hit = labels.to_vec();
+        hit.push(("result", "hit"));
+        let mut miss = labels.to_vec();
+        miss.push(("result", "miss"));
+        StoreMetrics {
+            hits: tel.registry.counter("store_lookups_total", &hit),
+            misses: tel.registry.counter("store_lookups_total", &miss),
+            insertions: tel.registry.counter("store_insertions_total", labels),
+            evictions: tel.registry.counter("store_evictions_total", labels),
+            entries: tel.registry.gauge("store_entries", labels),
+            bytes: tel.registry.gauge("store_bytes", labels),
+        }
+    }
+}
+
 /// The bounded compiled-circuit store (see the [module docs](self)).
 pub struct CircuitStore {
     config: StoreConfig,
@@ -150,6 +181,7 @@ pub struct CircuitStore {
     misses: u64,
     insertions: u64,
     evictions: u64,
+    metrics: Option<StoreMetrics>,
 }
 
 impl CircuitStore {
@@ -165,6 +197,26 @@ impl CircuitStore {
             misses: 0,
             insertions: 0,
             evictions: 0,
+            metrics: None,
+        }
+    }
+
+    /// Attaches a telemetry sink: every lookup, insertion, and eviction
+    /// from now on lands in `store_lookups_total{result}` /
+    /// `store_insertions_total` / `store_evictions_total` counters and
+    /// the `store_entries` / `store_bytes` occupancy gauges, all tagged
+    /// with `labels` (the serving layers pass `shard`).
+    pub fn attach_telemetry(&mut self, tel: &Telemetry, labels: &[(&str, &str)]) {
+        let metrics = StoreMetrics::new(tel, labels);
+        metrics.entries.set(self.entries.len() as f64);
+        metrics.bytes.set(self.bytes as f64);
+        self.metrics = Some(metrics);
+    }
+
+    fn sync_occupancy_gauges(&self) {
+        if let Some(m) = &self.metrics {
+            m.entries.set(self.entries.len() as f64);
+            m.bytes.set(self.bytes as f64);
         }
     }
 
@@ -181,10 +233,16 @@ impl CircuitStore {
             Some(slot) => {
                 slot.last_used = self.tick;
                 self.hits += 1;
+                if let Some(m) = &self.metrics {
+                    m.hits.inc();
+                }
                 Some(&slot.value)
             }
             None => {
                 self.misses += 1;
+                if let Some(m) = &self.metrics {
+                    m.misses.inc();
+                }
                 None
             }
         }
@@ -212,6 +270,9 @@ impl CircuitStore {
     pub fn insert(&mut self, key: FormulaFingerprint, value: StoredCircuit) {
         self.tick += 1;
         self.insertions += 1;
+        if let Some(m) = &self.metrics {
+            m.insertions.inc();
+        }
         let added = value.bytes();
         let cost_s = match self.recompile_ewma.get(&key.digest()) {
             Some(&old) => 0.7 * old + 0.3 * value.compile_s.max(0.0),
@@ -241,18 +302,24 @@ impl CircuitStore {
                 Some(v) => {
                     self.remove(&v);
                     self.evictions += 1;
+                    if let Some(m) = &self.metrics {
+                        m.evictions.inc();
+                    }
                 }
                 None => break, // only the fresh entry remains
             }
         }
+        self.sync_occupancy_gauges();
     }
 
     /// Removes an entry outright (KB deregistration), returning it.
     pub fn remove(&mut self, key: &FormulaFingerprint) -> Option<StoredCircuit> {
-        self.entries.remove(key).map(|slot| {
+        let removed = self.entries.remove(key).map(|slot| {
             self.bytes -= slot.value.bytes();
             slot.value
-        })
+        });
+        self.sync_occupancy_gauges();
+        removed
     }
 
     /// Number of live entries.

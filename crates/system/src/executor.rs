@@ -49,6 +49,7 @@ use reason_pc::{
 };
 use reason_sat::gen::random_ksat;
 use reason_sat::{Cnf, CubeAndConquer, CubeConfig, Solution};
+use reason_telemetry::Telemetry;
 
 use crate::pipeline::{PipelineReport, StageCost, TwoLevelPipeline};
 use crate::sync::SharedMemory;
@@ -390,19 +391,57 @@ impl BatchExecutor {
     /// each grouped task is attributed an equal share of the group's
     /// measured symbolic time.
     pub fn run(&self, tasks: &[BatchTask]) -> BatchReport {
+        self.run_with_telemetry(tasks, None)
+    }
+
+    /// [`run`](Self::run) with an optional observability sink. When
+    /// attached, the executor records (all counters lock-free on the
+    /// hot path, nothing recorded when `telemetry` is `None`):
+    ///
+    /// * `executor_tasks_total{mode=overlap|serial}` — tasks executed;
+    /// * `executor_edf_reorder_depth` — histogram of
+    ///   `|dispatch position − submission index|` under [`edf_order`]
+    ///   (0 everywhere for deadline-free batches); a pure function of
+    ///   the batch's deadlines, so deterministic across runs;
+    /// * `executor_lane_tasks_total{lane}` — per-symbolic-lane
+    ///   occupancy (which worker drained each task; scheduling-
+    ///   dependent, so *not* replay-deterministic);
+    /// * `executor_stage_seconds{stage=neural|symbolic}` — measured
+    ///   wall-clock stage durations;
+    /// * the measured [`PipelineReport`] gauges via
+    ///   [`PipelineReport::record_into`] under `schedule="measured"`.
+    pub fn run_with_telemetry(
+        &self,
+        tasks: &[BatchTask],
+        telemetry: Option<&Telemetry>,
+    ) -> BatchReport {
         let start = Instant::now();
         let premap = precompute_shared_groups(tasks);
         let results = if self.config.overlap && !tasks.is_empty() {
-            self.run_overlapped(tasks, &premap)
+            self.run_overlapped(tasks, &premap, telemetry)
         } else {
             run_serial(tasks, &premap)
         };
         let pipelined_s = start.elapsed().as_secs_f64();
         let serial_s: f64 = results.iter().map(|r| r.neural_s + r.symbolic_s).sum();
-        BatchReport {
-            results,
-            measured: PipelineReport { pipelined_s, serial_s, tasks: tasks.len() },
+        let measured = PipelineReport { pipelined_s, serial_s, tasks: tasks.len() };
+        if let Some(tel) = telemetry {
+            let mode = if self.config.overlap { "overlap" } else { "serial" };
+            tel.registry.counter("executor_tasks_total", &[("mode", mode)]).add(tasks.len() as u64);
+            let depth = tel.registry.histogram("executor_edf_reorder_depth", &[]);
+            for (pos, &i) in edf_order(tasks).iter().enumerate() {
+                depth.record((pos as f64 - i as f64).abs());
+            }
+            let neural_h = tel.registry.histogram("executor_stage_seconds", &[("stage", "neural")]);
+            let symbolic_h =
+                tel.registry.histogram("executor_stage_seconds", &[("stage", "symbolic")]);
+            for r in &results {
+                neural_h.record(r.neural_s);
+                symbolic_h.record(r.symbolic_s);
+            }
+            measured.record_into(&tel.registry, "measured");
         }
+        BatchReport { results, measured }
     }
 
     /// Threaded path: `neural_workers` producers feed `symbolic_workers`
@@ -411,6 +450,7 @@ impl BatchExecutor {
         &self,
         tasks: &[BatchTask],
         premap: &HashMap<usize, (Verdict, f64)>,
+        telemetry: Option<&Telemetry>,
     ) -> Vec<TaskResult> {
         let shm = SharedMemory::new();
         // Stage-1 work queue, pre-loaded with every task index.
@@ -442,16 +482,24 @@ impl BatchExecutor {
             // workers drain until the last neural worker exits.
             drop(ready_tx);
 
-            for _ in 0..self.config.symbolic_workers.max(1) {
+            for lane in 0..self.config.symbolic_workers.max(1) {
                 let ready_rx = ready_rx.clone();
                 let shm = shm.clone();
                 let slots = &slots;
+                // The handle is created once per lane (registry lock),
+                // then incremented lock-free inside the drain loop.
+                let lane_tasks = telemetry.map(|t| {
+                    t.registry.counter("executor_lane_tasks_total", &[("lane", &lane.to_string())])
+                });
                 scope.spawn(move |_| {
                     // One evaluation buffer per worker: every PC/serve
                     // task this worker executes reuses it, so repeated
                     // queries against shared circuits are allocation-free.
                     let mut eval_buf = EvalBuffer::new();
                     while let Ok((i, neural_s)) = ready_rx.recv() {
+                        if let Some(c) = &lane_tasks {
+                            c.inc();
+                        }
                         let buffer = shm
                             .take_neural(i as u64)
                             .expect("neural_ready is raised before dispatch");
@@ -1246,6 +1294,53 @@ mod tests {
         assert_eq!(edf_order(&tasks), vec![4, 1, 2, 0, 3]);
         // No deadlines anywhere → pure submission order.
         assert_eq!(edf_order(&synthetic_batch(&[(1, 1); 4])), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn telemetry_records_lanes_reorder_depth_and_pipeline_gauges() {
+        use reason_telemetry::{MetricValue, Telemetry};
+        let tel = Telemetry::wall();
+        let mut tasks = synthetic_batch(&[(1, 2); 4]);
+        tasks[3] = tasks[3].clone().with_deadline(Duration::from_millis(1));
+        let report = BatchExecutor::new(ExecutorConfig::overlapped(2))
+            .run_with_telemetry(&tasks, Some(&tel));
+        assert_eq!(report.results.len(), 4);
+
+        let snap = tel.registry.snapshot();
+        let counter_sum = |name: &str| -> u64 {
+            snap.iter()
+                .filter(|m| m.name == name)
+                .map(|m| match &m.value {
+                    MetricValue::Counter(v) => *v,
+                    _ => 0,
+                })
+                .sum()
+        };
+        assert_eq!(counter_sum("executor_tasks_total"), 4);
+        // Every task is drained by exactly one symbolic lane.
+        assert_eq!(counter_sum("executor_lane_tasks_total"), 4);
+        // EDF pulled task 3 to the front: dispatch order [3, 0, 1, 2]
+        // has depths [3, 1, 1, 1].
+        let depth = snap
+            .iter()
+            .find(|m| m.name == "executor_edf_reorder_depth")
+            .expect("reorder depth histogram");
+        let MetricValue::Histogram(h) = &depth.value else { panic!("histogram") };
+        assert_eq!(h.count, 4);
+        // Measured pipeline gauges landed with documented units.
+        assert!(snap.iter().any(|m| m.name == "pipeline_overlap_gain"
+            && m.labels == vec![("schedule".to_string(), "measured".to_string())]));
+        assert!(snap.iter().any(|m| m.name == "pipeline_makespan_seconds"));
+        // Stage histograms saw every task once per stage.
+        let stage_count: u64 = snap
+            .iter()
+            .filter(|m| m.name == "executor_stage_seconds")
+            .map(|m| match &m.value {
+                MetricValue::Histogram(h) => h.count,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(stage_count, 8);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! against serial execution; it is the model behind the end-to-end
 //! runtimes of Fig. 11.
 
+use reason_telemetry::MetricsRegistry;
 use serde::{Deserialize, Serialize};
 
 /// Per-task stage costs in seconds.
@@ -53,6 +54,34 @@ impl PipelineReport {
         } else {
             1.0 - self.pipelined_s / self.serial_s
         }
+    }
+
+    /// Publishes the report into a metrics registry, labeled by
+    /// `schedule` (e.g. `"measured"`, `"predicted"`, `"modeled"`).
+    /// Units are explicit in the metric names:
+    ///
+    /// * `pipeline_makespan_seconds{schedule, mode=pipelined|serial}`
+    ///   — gauge, seconds;
+    /// * `pipeline_overlap_gain{schedule}` — gauge, dimensionless
+    ///   fraction of the serial makespan hidden by the overlap
+    ///   (see [`overlap_gain`](Self::overlap_gain): `0.5` means a 2x
+    ///   speedup, **not** 50 "percent faster");
+    /// * `pipeline_tasks{schedule}` — gauge, task count.
+    ///
+    /// This is the structured replacement for printing the report: any
+    /// sink holding the registry can export the same numbers through
+    /// [`reason_telemetry::prometheus_text`] or compare schedules by
+    /// label.
+    pub fn record_into(&self, registry: &MetricsRegistry, schedule: &str) {
+        let labels = [("schedule", schedule)];
+        registry
+            .gauge("pipeline_makespan_seconds", &[("schedule", schedule), ("mode", "pipelined")])
+            .set(self.pipelined_s);
+        registry
+            .gauge("pipeline_makespan_seconds", &[("schedule", schedule), ("mode", "serial")])
+            .set(self.serial_s);
+        registry.gauge("pipeline_overlap_gain", &labels).set(self.overlap_gain());
+        registry.gauge("pipeline_tasks", &labels).set(self.tasks as f64);
     }
 }
 
@@ -126,6 +155,40 @@ mod tests {
         let report = TwoLevelPipeline::new().schedule(&[]);
         assert_eq!(report.pipelined_s, 0.0);
         assert_eq!(report.tasks, 0);
+    }
+
+    #[test]
+    fn record_into_publishes_gains_and_makespans() {
+        use reason_telemetry::MetricValue;
+        let report =
+            TwoLevelPipeline::new().schedule(&[StageCost { neural_s: 1.0, symbolic_s: 1.0 }; 4]);
+        let registry = MetricsRegistry::new();
+        report.record_into(&registry, "modeled");
+        let get = |name: &str, labels: &[(&str, &str)]| -> f64 {
+            let want: Vec<(String, String)> = {
+                let mut v: Vec<(String, String)> =
+                    labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+                v.sort();
+                v
+            };
+            registry
+                .snapshot()
+                .iter()
+                .find(|m| m.name == name && m.labels == want)
+                .map(|m| match &m.value {
+                    MetricValue::Gauge(g) => *g,
+                    other => panic!("expected gauge, got {other:?}"),
+                })
+                .unwrap_or_else(|| panic!("missing {name}{labels:?}"))
+        };
+        let pipelined =
+            get("pipeline_makespan_seconds", &[("schedule", "modeled"), ("mode", "pipelined")]);
+        let serial =
+            get("pipeline_makespan_seconds", &[("schedule", "modeled"), ("mode", "serial")]);
+        assert_eq!(pipelined, report.pipelined_s);
+        assert_eq!(serial, report.serial_s);
+        assert_eq!(get("pipeline_overlap_gain", &[("schedule", "modeled")]), report.overlap_gain());
+        assert_eq!(get("pipeline_tasks", &[("schedule", "modeled")]), 4.0);
     }
 
     #[test]

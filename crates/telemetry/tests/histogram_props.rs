@@ -1,0 +1,172 @@
+//! Property and regression tests for the histogram quantile math: the
+//! reported p50/p90/p99 must always be the exact lower bound of the
+//! bucket holding the nearest-rank sample (hence within the true bucket
+//! bounds of that sample), quantiles must be monotone in rank, and the
+//! special values (zero, subnormals, infinities, NaN) must follow the
+//! documented bucket layout.
+
+use proptest::prelude::*;
+use reason_telemetry::{bucket_lower, bucket_upper, Histogram};
+
+/// The documented bucket index of a positive finite sample: exponent
+/// plus top 3 mantissa bits (8 sub-buckets per power of two).
+fn bucket_index(v: f64) -> u16 {
+    assert!(v.is_finite() && v > 0.0);
+    (v.to_bits() >> 49) as u16
+}
+
+/// The nearest-rank sample a quantile must report the bucket of.
+fn rank_sample(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len() as u64;
+    let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+/// Positive finite samples spanning ~600 octaves: `mant * 2^exp`.
+fn samples_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        (-300i32..=300, 1.0f64..2.0).prop_map(|(exp, mant)| mant * 2f64.powi(exp)),
+        1..=64,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn quantiles_lie_within_the_true_bucket_bounds(
+        samples in samples_strategy(),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = Histogram::default();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, samples.len() as u64);
+
+        let sample = rank_sample(&sorted, q);
+        let idx = bucket_index(sample);
+        let reported = snap.quantile(q).expect("non-empty");
+        prop_assert_eq!(
+            reported,
+            bucket_lower(idx),
+            "quantile({}) must be the lower bound of the rank sample's bucket",
+            q
+        );
+        prop_assert!(reported <= sample, "lower bound cannot exceed the sample");
+        prop_assert!(sample < bucket_upper(idx), "sample must sit below the bucket's upper bound");
+        // Log buckets: the reported bound is within 12.5% of the sample.
+        prop_assert!(sample <= reported * 1.125 * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_rank(
+        samples in samples_strategy(),
+        q1 in 0.0f64..=1.0,
+        q2 in 0.0f64..=1.0,
+    ) {
+        let h = Histogram::default();
+        for &v in &samples {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = snap.quantile(lo).expect("non-empty");
+        let b = snap.quantile(hi).expect("non-empty");
+        prop_assert!(a <= b, "quantile({}) = {} > quantile({}) = {}", lo, a, hi, b);
+        prop_assert!(snap.p50() <= snap.p90());
+        prop_assert!(snap.p90() <= snap.p99());
+    }
+
+    #[test]
+    fn bucket_bounds_are_exact_and_monotone(idx in 0u16..=0x3FF7) {
+        // 0x3FF7 is the bucket of f64::MAX — the top of the finite
+        // domain (its upper bound is +inf).
+        let lower = bucket_lower(idx);
+        let upper = bucket_upper(idx);
+        prop_assert!(lower >= 0.0);
+        prop_assert!(lower < upper);
+        if idx > 0 {
+            prop_assert_eq!(bucket_upper(idx - 1), lower, "buckets tile the positive reals");
+        }
+    }
+}
+
+#[test]
+fn zero_samples_pin_the_zero_bucket() {
+    let h = Histogram::default();
+    h.record(0.0);
+    h.record(-0.0);
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 2);
+    assert_eq!(snap.sum, 0.0);
+    assert_eq!(snap.p50(), Some(0.0));
+    assert_eq!(snap.p99(), Some(0.0));
+    assert_eq!(snap.buckets.len(), 1, "both zeros share the dedicated zero bucket");
+    assert_eq!((snap.buckets[0].lower, snap.buckets[0].upper), (0.0, 0.0));
+}
+
+#[test]
+fn subnormal_samples_follow_the_documented_layout() {
+    let h = Histogram::default();
+    h.record(f64::MIN_POSITIVE / 2.0); // subnormal, bucket index 4
+    h.record(5e-324); // smallest positive subnormal, bucket index 0
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 2);
+    // Subnormals need no special casing: they land in ordinary finite
+    // buckets (the smallest one's exact lower bound is 0.0), and
+    // quantiles stay within those buckets' bounds.
+    assert_eq!(snap.p50(), Some(0.0));
+    assert_eq!(snap.buckets.len(), 2, "the two subnormals sit in distinct sub-buckets");
+    assert_eq!(snap.buckets[0].lower, 0.0);
+    assert!(5e-324 < snap.buckets[0].upper);
+    assert_eq!(snap.buckets[1].lower, f64::MIN_POSITIVE / 2.0, "bucket bound is exact here");
+    assert_eq!(snap.p99(), Some(f64::MIN_POSITIVE / 2.0));
+}
+
+#[test]
+fn infinite_samples_pin_the_infinity_bucket() {
+    let h = Histogram::default();
+    h.record(1.0);
+    h.record(f64::INFINITY);
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 2);
+    assert_eq!(snap.sum, f64::INFINITY);
+    assert_eq!(snap.p50(), Some(1.0));
+    assert_eq!(snap.p99(), Some(f64::INFINITY), "top rank reports the infinity bucket");
+    let top = snap.buckets.last().unwrap();
+    assert_eq!((top.lower, top.upper, top.count), (f64::INFINITY, f64::INFINITY, 1));
+}
+
+#[test]
+fn negative_samples_report_the_negative_bucket_bound() {
+    let h = Histogram::default();
+    h.record(-3.0);
+    h.record(-1.0);
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 2);
+    assert_eq!(snap.p50(), Some(f64::NEG_INFINITY));
+    assert_eq!(snap.buckets.len(), 1);
+    assert_eq!(snap.buckets[0].count, 2);
+}
+
+#[test]
+fn nan_recordings_never_reach_count_sum_or_quantiles() {
+    let h = Histogram::default();
+    h.record(f64::NAN);
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 0);
+    assert_eq!(snap.nan, 1);
+    assert_eq!(snap.sum, 0.0);
+    assert_eq!(snap.quantile(0.5), None);
+
+    h.record(2.0);
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 1);
+    assert_eq!(snap.nan, 1);
+    assert_eq!(snap.sum, 2.0);
+    assert!(snap.p50().unwrap() <= 2.0);
+}

@@ -22,6 +22,8 @@
 //! * the knowledge-base serving engine — a persistent compiled-circuit
 //!   store with adaptive exact/approx/predicted query routing
 //!   ([`serve`]);
+//! * the unified observability layer — metrics registry, clock-injected
+//!   spans, Prometheus/Chrome-trace exporters ([`telemetry`]);
 //! * the evaluation workloads and datasets ([`workloads`]).
 //!
 //! See `README.md` for a tour and `docs/ARCHITECTURE.md` for the
@@ -64,4 +66,5 @@ pub use reason_sat as sat;
 pub use reason_serve as serve;
 pub use reason_sim as sim;
 pub use reason_system as system;
+pub use reason_telemetry as telemetry;
 pub use reason_workloads as workloads;
