@@ -35,8 +35,15 @@
 //!             cost-model state, and a Perfetto/Chrome trace
 //!             (--trace-out FILE writes it); --json is the committed
 //!             BENCH_obs.json and is byte-identical per seed
+//!   chaos:    fault-injection sweep over the sharded cluster — seeded
+//!             crash / rolling-slowdown / cache-wipe fault plans
+//!             replayed against the traffic workload; per-cell
+//!             availability, p50/p99, degrade rate, retry/failover/
+//!             breaker counters; guards zero lost queries and exact
+//!             bit-identity vs the single-engine oracle (byte-identical
+//!             JSON per seed)
 //!   --seed N: seeds the seedable experiments (approx, pipeline,
-//!             compile, serve, batch, traffic, trace)
+//!             compile, serve, batch, traffic, trace, chaos)
 //!   --trace-out FILE: with `trace`, writes the final cell's Chrome
 //!             trace_event JSON to FILE (open in Perfetto)
 //!   --json:   machine-readable output — native rows for approx,
@@ -65,7 +72,7 @@ fn usage() -> ! {
          [--trace-out FILE]\n\
          experiments: fig2 fig3a fig3b fig3c fig3d table2 table3 table4 fig8 fig9 \
          fig11 fig12 fig13 table5 ablation dse pipeline approx compile serve batch traffic \
-         trace all"
+         trace chaos all"
     );
     std::process::exit(2);
 }
@@ -142,6 +149,7 @@ fn main() {
             "batch" => Some(experiments::batch(opts.seed)),
             "traffic" => Some(experiments::traffic(opts.seed)),
             "trace" => Some(experiments::trace(opts.seed)),
+            "chaos" => Some(experiments::chaos(opts.seed)),
             _ => None,
         }
     };
@@ -156,6 +164,7 @@ fn main() {
             "batch" => Some(experiments::batch_json(opts.seed)),
             "traffic" => Some(experiments::traffic_json(opts.seed)),
             "trace" => Some(experiments::trace_json(opts.seed)),
+            "chaos" => Some(experiments::chaos_json(opts.seed)),
             _ => run(name).map(|text| {
                 Json::Obj(vec![
                     ("experiment".into(), Json::Str(name.into())),
@@ -168,7 +177,7 @@ fn main() {
     let all = [
         "fig2", "fig3a", "fig3b", "fig3c", "fig3d", "table2", "table3", "table4", "fig8", "fig9",
         "fig11", "fig12", "fig13", "table5", "ablation", "dse", "pipeline", "approx", "compile",
-        "serve", "batch", "traffic", "trace",
+        "serve", "batch", "traffic", "trace", "chaos",
     ];
     if let Some(path) = &trace_out {
         if which != "trace" {

@@ -5,6 +5,7 @@
 
 pub mod approx;
 pub mod batch;
+pub mod chaos;
 pub mod compile;
 pub mod serve;
 pub mod trace;
@@ -13,6 +14,10 @@ pub mod traffic;
 pub use approx::{approx, approx_json, approx_rows, approx_rows_for, ApproxRow, SWEEP_SIZES};
 pub use batch::{
     batch, batch_json, batch_rows_for, batch_summary, AccelRow, BatchRow, BATCH_LANES,
+};
+pub use chaos::{
+    chaos, chaos_cells_for, chaos_json, chaos_summary, ChaosCell, ChaosSummary, CHAOS_QPS,
+    CHAOS_QUERIES, CHAOS_SCENARIOS, CHAOS_SHARDS,
 };
 pub use compile::{
     compile_json, compile_report, compile_rows, CompileRow, COMPARE_SIZES, EXTENDED_SIZES,

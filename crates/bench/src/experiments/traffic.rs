@@ -246,7 +246,7 @@ pub(crate) fn traffic_engine_config(seed: u64) -> ServeConfig {
 }
 
 /// `sorted` must be ascending; nearest-rank percentile.
-fn percentile(sorted: &[f64], q: f64) -> f64 {
+pub(crate) fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
@@ -254,8 +254,10 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 }
 
 /// Single-engine reference answers for the workload, deadline-free: the
-/// bit-identity baseline every cell compares against.
-fn reference_answers(kbs: &[TrafficKb], workload: &[Arrival], seed: u64) -> Vec<Answer> {
+/// bit-identity baseline every cell compares against. Shared with the
+/// chaos sweep, which scores fault-tolerant replays of the same
+/// workloads against the same oracle.
+pub(crate) fn reference_answers(kbs: &[TrafficKb], workload: &[Arrival], seed: u64) -> Vec<Answer> {
     let mut engine = ServeEngine::new(traffic_engine_config(seed));
     let ids: Vec<_> =
         kbs.iter().map(|kb| engine.register(&kb.name, &kb.cnf, kb.weights.clone())).collect();

@@ -35,6 +35,7 @@ use reason_sat::Cnf;
 use reason_telemetry::Telemetry;
 
 use crate::engine::{Answer, KbId, ServeConfig, ServeEngine, ServeError};
+use crate::fault::{BreakerState, FaultConfig, FaultPlan, FaultStats, ShardHealth};
 use crate::router::{Admission, KbTelemetry, Query, QueryRouter, Route};
 
 /// A consistent-hash ring mapping fingerprints to shard indices.
@@ -90,6 +91,24 @@ impl HashRing {
         let idx = self.points.partition_point(|&(p, _)| p < key);
         let (_, shard) = self.points[idx % self.points.len()];
         shard
+    }
+
+    /// The ring with `shard`'s virtual points removed — the failover
+    /// view the fault-tolerant dispatcher routes through when a shard
+    /// dies. Exactly symmetric to growing the ring: keys owned by
+    /// surviving shards keep their owning points and never move; only
+    /// the dead shard's arcs fall to their clockwise successors. The
+    /// shard index space is unchanged (`shards()` still reports the
+    /// configured width), so surviving indices stay valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics when removing `shard` would leave the ring empty.
+    pub fn remove_shard(&self, shard: usize) -> HashRing {
+        let points: Vec<(u64, usize)> =
+            self.points.iter().copied().filter(|&(_, s)| s != shard).collect();
+        assert!(!points.is_empty(), "cannot remove the last live shard from the ring");
+        HashRing { points, shards: self.shards, salt: self.salt }
     }
 }
 
@@ -175,6 +194,15 @@ pub struct ClusterOutcome {
     /// Measured executor seconds for the query's task(s); `0.0` for
     /// rejects, which never dispatch.
     pub latency_s: f64,
+    /// Dispatch attempts the query took (1 = served on the first try;
+    /// higher counts mean backoff retries and/or failovers).
+    pub attempts: u32,
+    /// `true` when the query was re-routed to a failover shard after
+    /// its primary was unreachable.
+    pub failover: bool,
+    /// `true` when the query stepped down the degrade ladder because of
+    /// an injected fault (not because of its own deadline budget).
+    pub degraded_by_fault: bool,
 }
 
 /// Admission counters over one [`ServeCluster::serve_at`] call.
@@ -215,11 +243,85 @@ struct KbModel {
     /// spans.
     name: String,
     telemetry: KbTelemetry,
+    /// The placement key, kept so the fault layer can re-route through
+    /// a shrunken ring on failover.
+    fingerprint: FormulaFingerprint,
+    /// Failover replicas the fault layer registered on other shards,
+    /// with their own compiled/predictor bits (the shared cost numbers
+    /// stay in `telemetry`).
+    failovers: Vec<FailoverReplica>,
 }
 
-/// One knowledge base's admitted queries within a batch, in admission
-/// order: (arrival index, query, decided route).
-type AdmittedGroup = (ClusterKbId, Vec<(usize, Query, Route)>);
+/// One failover registration of a knowledge base on a non-primary
+/// shard.
+#[derive(Debug, Clone, Copy)]
+struct FailoverReplica {
+    shard: usize,
+    kb: KbId,
+    compiled: bool,
+    has_predictor: bool,
+}
+
+/// The cluster's live fault-tolerance state: the injected plan, the
+/// policy, one breaker per shard, and the lifetime counters.
+struct FaultDomain {
+    plan: FaultPlan,
+    config: FaultConfig,
+    health: Vec<ShardHealth>,
+    /// One flag per scheduled wipe: fired yet?
+    wipes_applied: Vec<bool>,
+    stats: FaultStats,
+}
+
+impl FaultDomain {
+    /// Publishes a breaker state change (if any) to the registry:
+    /// `breaker_state{shard}` gauge plus
+    /// `breaker_transitions_total{shard, to}`.
+    fn observe_breaker(&self, tel: Option<&Telemetry>, shard: usize, before: BreakerState) {
+        let after = self.health[shard].state();
+        if before == after {
+            return;
+        }
+        if let Some(tel) = tel {
+            let shard_label = shard.to_string();
+            tel.registry
+                .gauge("breaker_state", &[("shard", &shard_label)])
+                .set(after.gauge_value());
+            tel.registry
+                .counter(
+                    "breaker_transitions_total",
+                    &[("shard", &shard_label), ("to", after.label())],
+                )
+                .inc();
+        }
+    }
+}
+
+/// One fault-layer decision on a query's path to dispatch, kept so the
+/// admission telemetry can trace it as a child span of the query's
+/// `cluster.query` root.
+#[derive(Debug, Clone, Copy)]
+struct FaultEvent {
+    name: &'static str,
+    start: f64,
+    end: f64,
+}
+
+/// Where (and when) the fault layer decided one query dispatches.
+struct Placement {
+    shard: usize,
+    kb: KbId,
+    /// Decision time after backoffs and recovery waits (`>=` arrival).
+    now: f64,
+    attempts: u32,
+    failover: bool,
+}
+
+/// One knowledge base's admitted queries within a batch on one shard,
+/// in admission order: (arrival index, query, decided route). The key
+/// carries the shard and engine-local id because failover can split a
+/// KB's traffic across shards within a single batch.
+type AdmittedGroup = ((ClusterKbId, usize, KbId), Vec<(usize, Query, Route)>);
 
 /// The sharded serving front-end (see the [module docs](self)).
 pub struct ServeCluster {
@@ -244,6 +346,9 @@ pub struct ServeCluster {
     /// time, which a shared track could not represent as a well-formed
     /// forest.
     next_track: u64,
+    /// Fault-tolerance state; `None` (the default) keeps the serve path
+    /// exactly as fast as before the fault layer existed.
+    fault: Option<FaultDomain>,
 }
 
 impl ServeCluster {
@@ -264,7 +369,42 @@ impl ServeCluster {
             free_at: vec![0.0; config.shards],
             telemetry: None,
             next_track: 1,
+            fault: None,
         }
+    }
+
+    /// Installs (or replaces) the fault domain: the injected
+    /// [`FaultPlan`] plus the breaker/retry policy. From now on every
+    /// [`serve_at`](Self::serve_at) arrival walks the fault-aware
+    /// dispatch path — breaker checks, hedged retries with
+    /// deterministic backoff, ring failover with recompilation on the
+    /// surviving shard, and ladder degradation when exact capacity is
+    /// lost. Installing `FaultPlan::new()` (no faults) keeps behavior
+    /// identical to the bare cluster while exercising the machinery —
+    /// the happy-path overhead `bench_fault` pins.
+    pub fn install_fault_domain(&mut self, plan: FaultPlan, config: FaultConfig) {
+        let wipes_applied = vec![false; plan.wipes().len()];
+        self.fault = Some(FaultDomain {
+            plan,
+            config,
+            health: (0..self.config.shards).map(|_| ShardHealth::new(config.breaker)).collect(),
+            wipes_applied,
+            stats: FaultStats::default(),
+        });
+    }
+
+    /// The fault layer's lifetime counters; `None` before
+    /// [`install_fault_domain`](Self::install_fault_domain).
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.fault.as_ref().map(|f| f.stats)
+    }
+
+    /// Per-shard circuit-breaker states; empty before
+    /// [`install_fault_domain`](Self::install_fault_domain).
+    pub fn breaker_states(&self) -> Vec<BreakerState> {
+        self.fault
+            .as_ref()
+            .map_or_else(Vec::new, |f| f.health.iter().map(ShardHealth::state).collect())
     }
 
     /// Attaches an observability sink. The cluster records labeled
@@ -311,6 +451,8 @@ impl ServeCluster {
             kb,
             name,
             telemetry: KbTelemetry::prior(registered.num_vars(), registered.num_clauses()),
+            fingerprint,
+            failovers: Vec::new(),
         });
         ClusterKbId { index: self.kbs.len() - 1 }
     }
@@ -373,6 +515,21 @@ impl ServeCluster {
         &mut self,
         arrivals: &[(ClusterKbId, Query, f64)],
     ) -> Result<ClusterReport, ServeError> {
+        // Taken out of `self` so the fault-aware helpers can borrow the
+        // cluster mutably (lazy failover registration, cache wipes)
+        // while walking the domain; restored before returning.
+        let mut fault = self.fault.take();
+        let result = self.serve_at_inner(arrivals, &mut fault);
+        self.fault = fault;
+        result
+    }
+
+    fn serve_at_inner(
+        &mut self,
+        arrivals: &[(ClusterKbId, Query, f64)],
+        fault: &mut Option<FaultDomain>,
+    ) -> Result<ClusterReport, ServeError> {
+        let tel = self.telemetry.clone();
         let mut stats = AdmissionStats::default();
         let mut outcomes: Vec<ClusterOutcome> = Vec::with_capacity(arrivals.len());
         let mut groups: Vec<AdmittedGroup> = Vec::new();
@@ -381,20 +538,38 @@ impl ServeCluster {
         for (i, (id, query, t)) in arrivals.iter().enumerate() {
             assert!(*t >= last_t, "arrivals must be sorted by arrival time");
             last_t = *t;
-            let model = &self.kbs[id.index];
-            let shard = model.shard;
-            let backlog_s = (self.free_at[shard] - t).max(0.0);
-            let (decision, reason) =
-                self.admission.admit_explained(query, &model.telemetry, backlog_s);
+            let mut events: Vec<FaultEvent> = Vec::new();
+            // Resolve where and when the query dispatches, and what
+            // admission decided there. Without a fault domain this is
+            // the primary shard at arrival time, judged exactly as
+            // before the fault layer existed.
+            let (place, tel_eff, decision, reason, degraded_by_fault) = match fault {
+                None => {
+                    let model = &self.kbs[id.index];
+                    let shard = model.shard;
+                    let backlog_s = (self.free_at[shard] - t).max(0.0);
+                    let (decision, reason) =
+                        self.admission.admit_explained(query, &model.telemetry, backlog_s);
+                    let place =
+                        Placement { shard, kb: model.kb, now: *t, attempts: 1, failover: false };
+                    (place, model.telemetry, decision, reason, false)
+                }
+                Some(domain) => {
+                    self.apply_due_wipes(domain, *t, tel.as_deref());
+                    self.admit_under_faults(domain, *id, query, *t, tel.as_deref(), &mut events)
+                }
+            };
+            let Placement { shard, kb, now, attempts, failover } = place;
+            let model_name = self.kbs[id.index].name.clone();
             match decision {
                 Admission::Reject { .. } => {
                     stats.rejected += 1;
                     stats.deadline_misses += 1;
-                    if let Some(tel) = &self.telemetry {
+                    if let Some(tel) = &tel {
                         let track = self.next_track;
                         let shard_label = shard.to_string();
                         let labels: [(&str, &str); 3] =
-                            [("shard", &shard_label), ("tenant", &model.name), ("reason", reason)];
+                            [("shard", &shard_label), ("tenant", &model_name), ("reason", reason)];
                         tel.registry.counter("cluster_rejects_total", &labels).inc();
                         tel.registry
                             .counter("cluster_deadline_miss_total", &[("shard", &shard_label)])
@@ -404,12 +579,12 @@ impl ServeCluster {
                             "cluster.query",
                             &[
                                 ("shard", &shard_label),
-                                ("tenant", &model.name),
+                                ("tenant", &model_name),
                                 ("route", "reject"),
                                 ("reason", reason),
                             ],
                             *t,
-                            *t,
+                            now.max(*t),
                         );
                         tel.tracer.record_span_under(
                             track,
@@ -419,8 +594,10 @@ impl ServeCluster {
                             *t,
                             root,
                         );
+                        record_fault_events(tel, track, root, &events, *t, now.max(*t));
                     }
                     self.next_track += 1;
+                    let backlog_s = (self.free_at[shard] - t).max(0.0) + (now - t).max(0.0);
                     outcomes.push(ClusterOutcome {
                         shard,
                         decision,
@@ -430,13 +607,38 @@ impl ServeCluster {
                         stage: StageBreakdown { queue_s: backlog_s, compile_s: 0.0, exec_s: 0.0 },
                         deadline_miss: true,
                         latency_s: 0.0,
+                        attempts,
+                        failover,
+                        degraded_by_fault,
                     });
                 }
                 Admission::Admit(route) => {
-                    let cost_s = modeled_cost(route, query, &model.telemetry);
-                    let cold = matches!(route, Route::Exact) && !model.telemetry.compiled;
-                    let compile_s = if cold { model.telemetry.compile_s } else { 0.0 };
-                    let start = self.free_at[shard].max(*t);
+                    let cold = matches!(route, Route::Exact) && !tel_eff.compiled;
+                    // Slow-shard windows stretch the modeled service
+                    // (compile and execution alike) by their factor.
+                    let start = self.free_at[shard].max(now);
+                    let mult = match fault {
+                        Some(domain) => {
+                            let m = domain.plan.slow_multiplier(shard, start);
+                            if m > 1.0 {
+                                domain.stats.slowdowns_hit += 1;
+                                if let Some(tel) = &tel {
+                                    let shard_label = shard.to_string();
+                                    tel.registry
+                                        .counter(
+                                            "fault_injected_total",
+                                            &[("shard", &shard_label), ("kind", "slow")],
+                                        )
+                                        .inc();
+                                }
+                                events.push(FaultEvent { name: "fault.slow", start, end: start });
+                            }
+                            m
+                        }
+                        None => 1.0,
+                    };
+                    let cost_s = modeled_cost(route, query, &tel_eff) * mult;
+                    let compile_s = if cold { tel_eff.compile_s * mult } else { 0.0 };
                     self.free_at[shard] = start + cost_s;
                     let modeled_latency_s = self.free_at[shard] - t;
                     let stage = StageBreakdown {
@@ -451,12 +653,12 @@ impl ServeCluster {
                         Route::Approx { .. } => "approx",
                         Route::Predicted => "predicted",
                     };
-                    if let Some(tel) = &self.telemetry {
+                    if let Some(tel) = &tel {
                         record_admit_telemetry(
                             tel,
                             self.next_track,
                             shard,
-                            &model.name,
+                            &model_name,
                             route_label,
                             reason,
                             deadline_miss,
@@ -465,6 +667,7 @@ impl ServeCluster {
                             &stage,
                             cold,
                             matches!(route, Route::Exact),
+                            &events,
                         );
                     }
                     self.next_track += 1;
@@ -475,9 +678,7 @@ impl ServeCluster {
                             // (and trains the predictor, when
                             // configured): upgrade the model so later
                             // arrivals are judged against warm costs.
-                            let telemetry = &mut self.kbs[id.index].telemetry;
-                            telemetry.compiled = true;
-                            telemetry.has_predictor = self.config.engine.predictor.is_some();
+                            self.mark_compiled(*id, shard);
                         }
                         Route::Approx { .. } => stats.approx += 1,
                         Route::Predicted => stats.predicted += 1,
@@ -494,10 +695,14 @@ impl ServeCluster {
                         stage,
                         deadline_miss,
                         latency_s: 0.0,
+                        attempts,
+                        failover,
+                        degraded_by_fault,
                     });
-                    match groups.iter_mut().find(|(gid, _)| gid == id) {
+                    let key = (*id, shard, kb);
+                    match groups.iter_mut().find(|(gid, _)| *gid == key) {
                         Some((_, entries)) => entries.push((i, query.clone(), route)),
-                        None => groups.push((*id, vec![(i, query.clone(), route)])),
+                        None => groups.push((key, vec![(i, query.clone(), route)])),
                     }
                 }
             }
@@ -505,21 +710,296 @@ impl ServeCluster {
 
         // Dispatch: every admitted query executes for real on its
         // shard, on the route admission pre-decided.
-        for (id, entries) in groups {
-            let (shard, kb) = {
-                let model = &self.kbs[id.index];
-                (model.shard, model.kb)
-            };
+        let floor = self.config.engine.router.min_approx_samples.max(1);
+        for ((_, shard, kb), entries) in groups {
             let queries: Vec<Query> = entries.iter().map(|(_, q, _)| q.clone()).collect();
             let routes: Vec<Route> = entries.iter().map(|(_, _, r)| *r).collect();
-            let report = self.shards[shard].serve_routed(kb, &queries, &routes)?;
-            for ((i, _, _), outcome) in entries.iter().zip(report.outcomes) {
-                outcomes[*i].answer = Some(outcome.answer);
-                outcomes[*i].latency_s = outcome.latency_s;
+            let report = match self.shards[shard].serve_routed(kb, &queries, &routes) {
+                Ok(report) => Some(report),
+                Err(err @ ServeError::NoMass(_)) => return Err(err),
+                Err(_) => {
+                    // A hot-path failure (eviction race, lost
+                    // predictor) degrades this group instead of
+                    // killing the whole batch: retry once on the
+                    // cheapest sound routes.
+                    let fallback: Vec<Route> = queries
+                        .iter()
+                        .zip(&routes)
+                        .map(|(q, r)| match r {
+                            Route::Exact if q.kind.degradable() => Route::Approx { samples: floor },
+                            Route::Predicted => Route::Approx { samples: floor },
+                            other => *other,
+                        })
+                        .collect();
+                    for (((i, _, _), r), f) in entries.iter().zip(&routes).zip(&fallback) {
+                        if r != f {
+                            outcomes[*i].degraded_by_fault = true;
+                        }
+                    }
+                    self.shards[shard].serve_routed(kb, &queries, &fallback).ok()
+                }
+            };
+            if let Some(report) = report {
+                for ((i, _, _), outcome) in entries.iter().zip(report.outcomes) {
+                    outcomes[*i].answer = Some(outcome.answer);
+                    outcomes[*i].latency_s = outcome.latency_s;
+                }
             }
         }
 
         Ok(ClusterReport { outcomes, stats })
+    }
+
+    /// Fires every cache wipe scheduled at or before `t` that has not
+    /// fired yet: the shard's store and oracles are genuinely dropped
+    /// (the next exact query recompiles through the KB's persistent
+    /// component cache) and the admission model forgets the artifacts.
+    fn apply_due_wipes(&mut self, domain: &mut FaultDomain, t: f64, tel: Option<&Telemetry>) {
+        for wi in 0..domain.plan.wipes().len() {
+            let wipe = domain.plan.wipes()[wi];
+            if domain.wipes_applied[wi] || wipe.at_s > t || wipe.shard >= self.shards.len() {
+                continue;
+            }
+            domain.wipes_applied[wi] = true;
+            domain.stats.cache_wipes += 1;
+            self.shards[wipe.shard].wipe_store();
+            for model in &mut self.kbs {
+                if model.shard == wipe.shard {
+                    model.telemetry.compiled = false;
+                }
+                for replica in &mut model.failovers {
+                    if replica.shard == wipe.shard {
+                        replica.compiled = false;
+                    }
+                }
+            }
+            if let Some(tel) = tel {
+                let shard_label = wipe.shard.to_string();
+                tel.registry
+                    .counter(
+                        "fault_injected_total",
+                        &[("shard", &shard_label), ("kind", "cache_wipe")],
+                    )
+                    .inc();
+            }
+        }
+    }
+
+    /// The fault-aware path to admission for one arrival: walk the
+    /// breaker → crash-retry → ring-failover ladder in virtual time
+    /// until a dispatchable shard is found, then run admission there —
+    /// degrading past the exact rung when a transient compile fault
+    /// blocks it. Crash windows are finite, so the walk always
+    /// terminates: a query that finds every shard down waits for the
+    /// earliest recovery instead of being dropped (zero lost queries).
+    fn admit_under_faults(
+        &mut self,
+        domain: &mut FaultDomain,
+        id: ClusterKbId,
+        query: &Query,
+        t: f64,
+        tel: Option<&Telemetry>,
+        events: &mut Vec<FaultEvent>,
+    ) -> (Placement, KbTelemetry, Admission, &'static str, bool) {
+        let mut now = t;
+        let mut shard = self.kbs[id.index].shard;
+        let mut excluded: Vec<usize> = Vec::new();
+        let mut attempts_here: u32 = 1;
+        let mut total_attempts: u32 = 1;
+        let mut failover = false;
+        let deadline_cutoff = t + query.deadline.map_or(f64::INFINITY, |d| d.as_secs_f64());
+        // Per-query jitter salt: the placement key hashed with the
+        // query's (deterministic) trace track.
+        let salt = self.kbs[id.index].fingerprint.ring_hash(self.next_track);
+        let count = |name: &str, kind: &str, shard: usize| {
+            if let Some(tel) = tel {
+                let shard_label = shard.to_string();
+                let labels: [(&str, &str); 2] = [("shard", &shard_label), ("kind", kind)];
+                let trimmed = if kind.is_empty() { &labels[..1] } else { &labels[..] };
+                tel.registry.counter(name, trimmed).inc();
+            }
+        };
+        loop {
+            let before = domain.health[shard].state();
+            let admits = domain.health[shard].admits(now);
+            domain.observe_breaker(tel, shard, before);
+            if admits {
+                let dispatch_start = self.free_at[shard].max(now);
+                if domain.plan.crashed(shard, dispatch_start) {
+                    domain.stats.crashes_hit += 1;
+                    count("fault_injected_total", "crash", shard);
+                    events.push(FaultEvent { name: "fault.crash", start: now, end: now });
+                    let before = domain.health[shard].state();
+                    domain.health[shard].record_failure(now);
+                    domain.observe_breaker(tel, shard, before);
+                    let backoff = domain.config.retry.backoff_s(attempts_here, salt);
+                    // Hedge: when the backoff would blow the deadline,
+                    // skip straight to failover instead of retrying.
+                    if attempts_here < domain.config.retry.max_attempts
+                        && now + backoff <= deadline_cutoff
+                    {
+                        domain.stats.retries += 1;
+                        count("retry_attempts_total", "", shard);
+                        events.push(FaultEvent {
+                            name: "fault.retry",
+                            start: now,
+                            end: now + backoff,
+                        });
+                        now += backoff;
+                        attempts_here += 1;
+                        total_attempts += 1;
+                        continue;
+                    }
+                } else {
+                    // The shard is dispatchable: run admission here.
+                    let tel_eff = self.effective_telemetry(id, shard);
+                    let backlog_s = (self.free_at[shard] - now).max(0.0);
+                    let spent_s = now - t;
+                    let (decision, reason) =
+                        self.admission.admit_explained(query, &tel_eff, backlog_s + spent_s);
+                    let compile_blocked = matches!(decision, Admission::Admit(Route::Exact))
+                        && !tel_eff.compiled
+                        && domain.plan.compile_faulted(shard, dispatch_start);
+                    if compile_blocked {
+                        domain.stats.compile_faults_hit += 1;
+                        count("fault_injected_total", "compile_fault", shard);
+                        events.push(FaultEvent { name: "fault.compile", start: now, end: now });
+                        let before = domain.health[shard].state();
+                        domain.health[shard].record_failure(now);
+                        domain.observe_breaker(tel, shard, before);
+                        if let Some((degraded, why)) =
+                            self.admission.admit_under_failure(query, &tel_eff, backlog_s + spent_s)
+                        {
+                            domain.stats.degraded_under_failure += 1;
+                            count("fault_degrade_total", "", shard);
+                            events.push(FaultEvent { name: "fault.degrade", start: now, end: now });
+                            let place = Placement {
+                                shard,
+                                kb: self.replica_kb(id, shard),
+                                now,
+                                attempts: total_attempts,
+                                failover,
+                            };
+                            return (place, tel_eff, degraded, why, true);
+                        }
+                        // No degraded rung (distribution/assignment
+                        // query): wait the fault window out, then
+                        // re-resolve — the shard may have crashed in
+                        // the meantime.
+                        let recover = domain.plan.compile_recovery_time(shard, dispatch_start);
+                        domain.stats.waited_for_recovery += 1;
+                        events.push(FaultEvent { name: "fault.wait", start: now, end: recover });
+                        now = recover.max(now);
+                        continue;
+                    }
+                    let before = domain.health[shard].state();
+                    domain.health[shard].record_success();
+                    domain.observe_breaker(tel, shard, before);
+                    let place = Placement {
+                        shard,
+                        kb: self.replica_kb(id, shard),
+                        now,
+                        attempts: total_attempts,
+                        failover,
+                    };
+                    return (place, tel_eff, decision, reason, false);
+                }
+            } else {
+                domain.stats.breaker_rejections += 1;
+                count("fault_breaker_rejected_total", "", shard);
+                events.push(FaultEvent { name: "breaker.reject", start: now, end: now });
+            }
+            // Failover: drop the unreachable shard from the ring and
+            // re-route. When every shard is unreachable, wait until the
+            // earliest one comes back (crash recovery or breaker
+            // cooldown) — never drop the query.
+            if !excluded.contains(&shard) {
+                excluded.push(shard);
+            }
+            if excluded.len() >= self.config.shards {
+                let target = (0..self.config.shards)
+                    .map(|s| {
+                        let t0 = self.free_at[s].max(now);
+                        domain.plan.recovery_time(s, t0).max(domain.health[s].ready_at(now))
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                domain.stats.waited_for_recovery += 1;
+                events.push(FaultEvent { name: "fault.wait", start: now, end: target.max(now) });
+                now = target.max(now);
+                excluded.clear();
+                attempts_here = 1;
+                continue;
+            }
+            let mut ring = self.ring.clone();
+            for &dead in &excluded {
+                ring = ring.remove_shard(dead);
+            }
+            let next = ring.shard_for(&self.kbs[id.index].fingerprint);
+            domain.stats.failovers += 1;
+            count("fault_failover_total", "", next);
+            events.push(FaultEvent { name: "fault.failover", start: now, end: now });
+            total_attempts += 1;
+            attempts_here = 1;
+            failover = true;
+            shard = next;
+        }
+    }
+
+    /// The admission-model view of `id` on `shard`: the KB's shared
+    /// cost numbers with the per-replica compiled/predictor bits.
+    fn effective_telemetry(&self, id: ClusterKbId, shard: usize) -> KbTelemetry {
+        let model = &self.kbs[id.index];
+        if model.shard == shard {
+            return model.telemetry;
+        }
+        let replica = model.failovers.iter().find(|r| r.shard == shard);
+        KbTelemetry {
+            compiled: replica.is_some_and(|r| r.compiled),
+            has_predictor: replica.is_some_and(|r| r.has_predictor),
+            ..model.telemetry
+        }
+    }
+
+    /// The engine-local id of `id` on `shard`, registering a failover
+    /// replica there on first use: the formula and weights are cloned
+    /// from the primary registration, and the replica's first exact
+    /// dispatch recompiles through its own knowledge base's persistent
+    /// component cache on the failover shard.
+    fn replica_kb(&mut self, id: ClusterKbId, shard: usize) -> KbId {
+        let model = &self.kbs[id.index];
+        if model.shard == shard {
+            return model.kb;
+        }
+        if let Some(replica) = model.failovers.iter().find(|r| r.shard == shard) {
+            return replica.kb;
+        }
+        let (name, cnf, weights) = {
+            let primary = self.shards[model.shard].kb(model.kb);
+            (model.name.clone(), primary.cnf(), primary.weights().clone())
+        };
+        let kb = self.shards[shard].register(name, &cnf, weights);
+        self.kbs[id.index].failovers.push(FailoverReplica {
+            shard,
+            kb,
+            compiled: false,
+            has_predictor: false,
+        });
+        kb
+    }
+
+    /// Marks `id` compiled (with a predictor when configured) on
+    /// `shard` — primary or failover replica — so later arrivals are
+    /// judged against warm costs.
+    fn mark_compiled(&mut self, id: ClusterKbId, shard: usize) {
+        let has_predictor = self.config.engine.predictor.is_some();
+        let model = &mut self.kbs[id.index];
+        if model.shard == shard {
+            model.telemetry.compiled = true;
+            model.telemetry.has_predictor = has_predictor;
+        } else if let Some(replica) = model.failovers.iter_mut().find(|r| r.shard == shard) {
+            replica.compiled = true;
+            replica.has_predictor = has_predictor;
+        }
     }
 }
 
@@ -545,6 +1025,7 @@ fn record_admit_telemetry(
     stage: &StageBreakdown,
     cold: bool,
     exact: bool,
+    events: &[FaultEvent],
 ) {
     let shard_label = shard.to_string();
     let labels: [(&str, &str); 4] =
@@ -580,6 +1061,26 @@ fn record_admit_telemetry(
         );
     }
     tel.tracer.record_span_under(track, "serve.eval", &[], start + stage.compile_s, end, root);
+    record_fault_events(tel, track, root, events, t, end);
+}
+
+/// Nests the fault-layer decisions (retries, failovers, breaker
+/// rejections, degrades, waits) for one query under its root span,
+/// clamped into the root interval so the trace forest stays well
+/// formed.
+fn record_fault_events(
+    tel: &Telemetry,
+    track: u64,
+    root: u64,
+    events: &[FaultEvent],
+    t: f64,
+    end: f64,
+) {
+    for ev in events {
+        let start = ev.start.clamp(t, end);
+        let stop = ev.end.clamp(start, end);
+        tel.tracer.record_span_under(track, ev.name, &[], start, stop, root);
+    }
 }
 
 /// Modeled service seconds for an admitted route, from the same
@@ -855,5 +1356,133 @@ mod tests {
             assert_eq!(outcome.shard, cluster.shard_of(id));
             assert!(matches!(outcome.answer, Some(Answer::Exact(_))));
         }
+    }
+
+    #[test]
+    fn removing_a_shard_never_moves_surviving_keys() {
+        let before = HashRing::new(4, 64, 7);
+        let after = before.remove_shard(2);
+        for fp in fingerprints(512) {
+            let old = before.shard_for(&fp);
+            let new = after.shard_for(&fp);
+            assert_ne!(new, 2, "removed shard still owns a key");
+            if old != 2 {
+                assert_eq!(new, old, "a surviving key moved on shard removal");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_fault_plan_is_invisible() {
+        let cnf = chain_cnf(8);
+        let arrivals = |cluster: &mut ServeCluster, kb: ClusterKbId| {
+            let batch = vec![
+                (kb, Query::exact(QueryKind::Wmc), 0.0),
+                (kb, Query::exact(QueryKind::Wmc), 1.0),
+                (kb, Query::with_deadline(QueryKind::Wmc, Duration::from_nanos(1)), 1.0),
+            ];
+            cluster.serve_at(&batch).unwrap()
+        };
+
+        let mut plain = ServeCluster::new(ClusterConfig::with_shards(2));
+        let kb = plain.register("chain", &cnf, WmcWeights::uniform(8));
+        let baseline = arrivals(&mut plain, kb);
+
+        let mut guarded = ServeCluster::new(ClusterConfig::with_shards(2));
+        let kb = guarded.register("chain", &cnf, WmcWeights::uniform(8));
+        guarded.install_fault_domain(FaultPlan::new(), FaultConfig::default());
+        let report = arrivals(&mut guarded, kb);
+
+        for (got, want) in report.outcomes.iter().zip(&baseline.outcomes) {
+            assert_eq!(got.answer, want.answer);
+            assert_eq!(got.decision, want.decision);
+            assert_eq!(got.reason, want.reason);
+            assert_eq!(got.modeled_latency_s, want.modeled_latency_s);
+            assert_eq!(got.attempts, 1);
+            assert!(!got.failover);
+            assert!(!got.degraded_by_fault);
+        }
+        let stats = guarded.fault_stats().unwrap();
+        assert_eq!(stats, FaultStats::default(), "empty plan must leave no trace");
+    }
+
+    #[test]
+    fn crashed_shard_fails_over_and_answers_bit_for_bit() {
+        let cnf = chain_cnf(8);
+        let weights = WmcWeights::uniform(8);
+        let queries: Vec<Query> = vec![Query::exact(QueryKind::Wmc), Query::exact(QueryKind::Wmc)];
+
+        let mut cluster = ServeCluster::new(ClusterConfig::with_shards(3));
+        let kb = cluster.register("chain", &cnf, weights.clone());
+        let home = cluster.shard_of(kb);
+        cluster
+            .install_fault_domain(FaultPlan::new().crash(home, 0.0, 1e6), FaultConfig::default());
+
+        let arrivals: Vec<(ClusterKbId, Query, f64)> =
+            queries.iter().map(|q| (kb, q.clone(), 0.0)).collect();
+        let report = cluster.serve_at(&arrivals).unwrap();
+
+        let mut single = ServeEngine::new(ServeConfig::default());
+        let sid = single.register("chain", &cnf, weights);
+        let reference = single.serve(sid, &queries).unwrap();
+
+        for (got, want) in report.outcomes.iter().zip(&reference.outcomes) {
+            assert_ne!(got.shard, home, "query served on the crashed shard");
+            assert!(got.failover, "failover must be visible in the outcome");
+            assert!(got.attempts > 1);
+            assert_eq!(got.answer.as_ref().unwrap(), &want.answer, "failover changed the answer");
+        }
+        let stats = cluster.fault_stats().unwrap();
+        assert!(stats.crashes_hit > 0);
+        assert!(stats.failovers >= 1);
+        assert!(stats.retries >= 1, "hedged retries precede failover");
+    }
+
+    #[test]
+    fn cache_wipe_forces_a_recompile_that_reproduces_the_answer() {
+        let cnf = chain_cnf(8);
+        let weights = WmcWeights::uniform(8);
+        let mut cluster = ServeCluster::new(ClusterConfig::with_shards(2));
+        let kb = cluster.register("chain", &cnf, weights);
+        let home = cluster.shard_of(kb);
+        cluster
+            .install_fault_domain(FaultPlan::new().wipe_cache(home, 0.5), FaultConfig::default());
+
+        let arrivals = vec![
+            (kb, Query::exact(QueryKind::Wmc), 0.0),
+            (kb, Query::exact(QueryKind::Wmc), 1.0), // after the wipe: recompiles
+        ];
+        let report = cluster.serve_at(&arrivals).unwrap();
+        assert_eq!(report.outcomes[0].answer, report.outcomes[1].answer);
+        assert!(
+            report.outcomes[1].stage.compile_s > 0.0,
+            "post-wipe query must pay the recompile: {:?}",
+            report.outcomes[1]
+        );
+        assert_eq!(cluster.fault_stats().unwrap().cache_wipes, 1);
+    }
+
+    #[test]
+    fn compile_fault_degrades_instead_of_erroring() {
+        let cnf = chain_cnf(8);
+        let mut cluster = ServeCluster::new(ClusterConfig::with_shards(2));
+        let kb = cluster.register("chain", &cnf, WmcWeights::uniform(8));
+        let home = cluster.shard_of(kb);
+        cluster.install_fault_domain(
+            FaultPlan::new().fail_compiles(home, 0.0, 1e6),
+            FaultConfig::default(),
+        );
+
+        let report = cluster.serve_at(&[(kb, Query::exact(QueryKind::Wmc), 0.0)]).unwrap();
+        let outcome = &report.outcomes[0];
+        assert!(outcome.degraded_by_fault, "compile fault must degrade: {outcome:?}");
+        assert!(matches!(outcome.decision, Admission::Admit(Route::Approx { .. })));
+        let Some(Answer::Bounds { lower, upper, .. }) = outcome.answer else {
+            panic!("degraded query answers with bounds: {outcome:?}");
+        };
+        // chain_cnf(8) over uniform weights has exact WMC 9/256.
+        let exact = 9.0 / 256.0;
+        assert!(lower <= exact + 1e-12 && exact <= upper + 1e-12);
+        assert_eq!(cluster.fault_stats().unwrap().degraded_under_failure, 1);
     }
 }

@@ -69,12 +69,28 @@ impl Default for ServeConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct KbId(usize);
 
-/// Serving failures.
+/// Serving failures. Every variant is recoverable by the caller: the
+/// sharded cluster degrades or retries the affected query instead of
+/// letting a hot-path invariant abort the process.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
     /// The knowledge base carries no satisfying mass under its weights
     /// — there is nothing to serve.
     NoMass(String),
+    /// The compiled artifact vanished from the store between compilation
+    /// and evaluation (an eviction race under concurrent tenants).
+    ArtifactMissing(String),
+    /// A [`Route::Predicted`] query arrived at a knowledge base with no
+    /// trained prediction net.
+    PredictorMissing(String),
+    /// A degraded route was paired with a non-degradable query kind
+    /// ([`QueryKind::Marginal`] / [`QueryKind::Mpe`]).
+    NotDegradable(String),
+    /// A compiled circuit failed to flatten into an evaluation arena.
+    BadCircuit(String),
+    /// An internal routing invariant was violated — a bug guard that
+    /// fails the batch instead of aborting the process.
+    Internal(&'static str),
 }
 
 impl std::fmt::Display for ServeError {
@@ -83,6 +99,19 @@ impl std::fmt::Display for ServeError {
             ServeError::NoMass(name) => {
                 write!(f, "knowledge base `{name}` has no satisfying mass")
             }
+            ServeError::ArtifactMissing(name) => {
+                write!(f, "knowledge base `{name}` lost its stored artifact mid-serve")
+            }
+            ServeError::PredictorMissing(name) => {
+                write!(f, "knowledge base `{name}` has no trained predictor for a predicted route")
+            }
+            ServeError::NotDegradable(name) => {
+                write!(f, "knowledge base `{name}` got a degraded route for an exact-only query")
+            }
+            ServeError::BadCircuit(detail) => {
+                write!(f, "compiled circuit failed to flatten: {detail}")
+            }
+            ServeError::Internal(detail) => write!(f, "serve invariant violated: {detail}"),
         }
     }
 }
@@ -274,6 +303,20 @@ impl ServeEngine {
         self.store.stats()
     }
 
+    /// Drops every stored artifact and live oracle — the fault layer's
+    /// cache-wipe injection. Registered knowledge bases (and their
+    /// persistent component caches) survive, so the next exact query
+    /// per KB pays a genuine — but component-cache-accelerated —
+    /// recompile. Trained predictors are kept: they live outside the
+    /// store and stay valid for their revision.
+    pub fn wipe_store(&mut self) {
+        self.store.clear();
+        for entry in &mut self.kbs {
+            entry.oracle = None;
+            entry.telemetry.compiled = false;
+        }
+    }
+
     /// The router's admission counters.
     pub fn router_stats(&self) -> RouterStats {
         self.router.stats()
@@ -315,12 +358,17 @@ impl ServeEngine {
     ///
     /// # Errors
     ///
-    /// [`ServeError::NoMass`] when the formula has no satisfying mass.
+    /// [`ServeError::NoMass`] when the formula has no satisfying mass;
+    /// [`ServeError::ArtifactMissing`] when the artifact is lost to an
+    /// eviction race between compilation and evaluation.
     pub fn query(&mut self, id: KbId, kind: &QueryKind) -> Result<Answer, ServeError> {
         self.ensure_compiled(id)?;
         let fp = self.kbs[id.0].kb.fingerprint();
         // ensure_compiled already paid the counted lookup.
-        let stored = self.store.peek(&fp).expect("ensure_compiled keeps the artifact hot");
+        let stored = self
+            .store
+            .peek(&fp)
+            .ok_or_else(|| ServeError::ArtifactMissing(self.kbs[id.0].kb.name().to_string()))?;
         let buf = &mut self.buf;
         let t0 = Instant::now();
         let answer = match kind {
@@ -382,15 +430,20 @@ impl ServeEngine {
     ///
     /// # Panics
     ///
-    /// Panics when `routes.len() != queries.len()`, when a degraded
-    /// route is paired with a non-degradable kind
-    /// ([`QueryKind::Marginal`]/[`QueryKind::Mpe`]), or when a
-    /// [`Route::Predicted`] query arrives without a trained predictor.
+    /// Panics when `routes.len() != queries.len()` — a caller bug, not
+    /// a serving condition.
     ///
     /// # Errors
     ///
     /// [`ServeError::NoMass`] when an exact-routed query forces a
-    /// compilation and the formula has no satisfying mass.
+    /// compilation and the formula has no satisfying mass;
+    /// [`ServeError::ArtifactMissing`] on an eviction race;
+    /// [`ServeError::NotDegradable`] when a degraded route is paired
+    /// with a non-degradable kind
+    /// ([`QueryKind::Marginal`]/[`QueryKind::Mpe`]);
+    /// [`ServeError::PredictorMissing`] when a [`Route::Predicted`]
+    /// query arrives without a trained net. All of these fail the batch
+    /// without panicking, so the cluster can degrade or retry it.
     pub fn serve_routed(
         &mut self,
         id: KbId,
@@ -446,11 +499,13 @@ impl ServeEngine {
             .filter(|(_, r)| matches!(r, Route::Exact))
             .filter_map(|(q, _)| q.deadline)
             .min();
-        let exact_task = (!exact_lanes.is_empty()).then(|| {
+        let exact_task = if exact_lanes.is_empty() {
+            None
+        } else {
             let stored = self
                 .store
                 .peek(&entry.kb.fingerprint())
-                .expect("exact routes are compiled and hot");
+                .ok_or_else(|| ServeError::ArtifactMissing(entry.kb.name().to_string()))?;
             tasks.push(BatchTask {
                 name: "exact-batch".into(),
                 neural: NeuralStage::Synthetic { duration: Duration::ZERO },
@@ -461,15 +516,16 @@ impl ServeEngine {
                 },
                 deadline: exact_deadline,
             });
-            tasks.len() - 1
-        });
+            Some(tasks.len() - 1)
+        };
         let mut exact_lane = 0usize;
 
         for (qi, (query, route)) in queries.iter().zip(routes).enumerate() {
             let seed = self.config.approx_seed ^ (self.served << 20) ^ qi as u64;
             match route {
                 Route::Exact => {
-                    let task = exact_task.expect("exact routes share the batch task");
+                    let task = exact_task
+                        .ok_or(ServeError::Internal("exact routes share the batch task"))?;
                     plans.push(Plan::Batch { task, lane: exact_lane, route: *route });
                     exact_lane += 1;
                 }
@@ -531,19 +587,21 @@ impl ServeEngine {
                         },
                         // The router never degrades these kinds.
                         QueryKind::Marginal(..) | QueryKind::Mpe(..) => {
-                            unreachable!("router keeps distribution queries exact")
+                            return Err(ServeError::NotDegradable(entry.kb.name().to_string()));
                         }
                     }
                 }
                 Route::Predicted => {
-                    let (mlp, z, _) =
-                        entry.predictor.as_ref().expect("predicted routes have a trained net");
+                    let (mlp, z, _) = entry
+                        .predictor
+                        .as_ref()
+                        .ok_or_else(|| ServeError::PredictorMissing(entry.kb.name().to_string()))?;
                     let (evidence, is_posterior, is_probability) = match &query.kind {
                         QueryKind::Wmc => (Evidence::empty(entry.kb.num_vars()), false, false),
                         QueryKind::Probability(ev) => (ev.clone(), false, true),
                         QueryKind::Posterior(ev) => (ev.clone(), true, false),
                         QueryKind::Marginal(..) | QueryKind::Mpe(..) => {
-                            unreachable!("router keeps distribution queries exact")
+                            return Err(ServeError::NotDegradable(entry.kb.name().to_string()));
                         }
                     };
                     let options: Vec<Option<bool>> = (0..entry.kb.num_vars())
@@ -670,9 +728,11 @@ impl ServeEngine {
                 .oracle
                 .as_ref()
                 .and_then(|o| o.circuit().cloned())
-                .expect("fresh oracles of served KBs carry a circuit");
-            let dnnf =
-                Arc::new(Dnnf::from_circuit(&circuit).expect("compiled circuits are binary"));
+                .ok_or_else(|| ServeError::ArtifactMissing(entry.kb.name().to_string()))?;
+            let dnnf = Arc::new(
+                Dnnf::from_circuit(&circuit)
+                    .map_err(|e| ServeError::BadCircuit(format!("{}: {e:?}", entry.kb.name())))?,
+            );
             let z = entry.z;
             let (compile_s, stats) = (entry.last_compile_s, entry.last_stats);
             self.store.insert(fp, StoredCircuit { dnnf, circuit, z, compile_s, stats });
@@ -693,8 +753,10 @@ impl ServeEngine {
             let Some(circuit) = circuit else {
                 return Err(ServeError::NoMass(entry.kb.name().to_string()));
             };
-            let dnnf =
-                Arc::new(Dnnf::from_circuit(&circuit).expect("compiled circuits are binary"));
+            let dnnf = Arc::new(
+                Dnnf::from_circuit(&circuit)
+                    .map_err(|e| ServeError::BadCircuit(format!("{}: {e:?}", entry.kb.name())))?,
+            );
             let z = dnnf.probability(&Evidence::empty(entry.kb.num_vars()), &mut DnnfBuffer::new());
             entry.z = z;
             entry.last_stats = stats;
@@ -711,7 +773,8 @@ impl ServeEngine {
         entry.z_revision = Some(revision);
         entry.telemetry.compiled = true;
         // Warm-eval measurement: two evaluations, keep the faster.
-        let oracle = entry.oracle.as_ref().expect("just built");
+        let oracle =
+            entry.oracle.as_ref().ok_or(ServeError::Internal("compiled oracle was just built"))?;
         let empty_ev = Evidence::empty(entry.kb.num_vars());
         let mut ebuf = reason_pc::EvalBuffer::new();
         let mut best = f64::INFINITY;

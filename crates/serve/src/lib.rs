@@ -34,6 +34,14 @@
 //!   model plus the destination shard's modeled queue backlog —
 //!   degrading or rejecting before an executor lane is spent, not
 //!   after a miss.
+//! * [`FaultPlan`] ([`fault`]) — the failure-domain layer: seeded
+//!   deterministic fault injection (shard crashes, slow shards,
+//!   transient compile faults, cache wipes), per-shard [`ShardHealth`]
+//!   circuit breakers, and hedged [`RetryConfig`] backoff. The cluster
+//!   reroutes around dead shards through [`HashRing::remove_shard`]
+//!   failover, recompiles on the failover shard, and degrades down the
+//!   exact → anytime-bounds → prediction ladder instead of erroring —
+//!   no query is ever lost.
 //!
 //! `reason-eval serve` sweeps this engine (repeated-query speedups,
 //! deadline fallbacks, incremental edits) and commits the result as
@@ -60,6 +68,7 @@
 
 pub mod cluster;
 pub mod engine;
+pub mod fault;
 pub mod kb;
 pub mod router;
 pub mod store;
@@ -69,6 +78,10 @@ pub use cluster::{
     ServeCluster, StageBreakdown,
 };
 pub use engine::{Answer, KbId, ServeConfig, ServeEngine, ServeError, ServeOutcome, ServeReport};
+pub use fault::{
+    BreakerConfig, BreakerState, CacheWipe, CompileFaultWindow, CrashWindow, FaultConfig,
+    FaultPlan, FaultStats, RetryConfig, ShardHealth, SlowWindow,
+};
 pub use kb::KnowledgeBase;
 /// Canonical formula fingerprints — the circuit store's keys. The type
 /// lives in `reason_pc` (the batch executor groups exact tasks by it);

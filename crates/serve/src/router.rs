@@ -291,6 +291,49 @@ impl QueryRouter {
         (Admission::Admit(route), reason)
     }
 
+    /// [`admit_explained`](Self::admit_explained) with the exact rung
+    /// masked off — the step the fault-tolerant cluster takes when
+    /// exact capacity is lost (transient compile failures, dead
+    /// shards): the query walks the remaining anytime-bounds →
+    /// prediction ladder instead of erroring. Deadline-free queries get
+    /// the full sample cap; deadlined ones the backlog-trimmed fit.
+    /// Returns `None` for kinds with no degraded rung
+    /// ([`QueryKind::Marginal`]/[`QueryKind::Mpe`]), which must wait
+    /// for exact capacity instead.
+    pub fn admit_under_failure(
+        &self,
+        query: &Query,
+        t: &KbTelemetry,
+        backlog_s: f64,
+    ) -> Option<(Admission, &'static str)> {
+        if !query.kind.degradable() {
+            return None;
+        }
+        let budget_s = match query.deadline {
+            None => f64::INFINITY,
+            Some(d) => d.as_secs_f64() * self.config.deadline_safety - backlog_s.max(0.0),
+        };
+        if budget_s <= 0.0 {
+            return Some((Admission::Reject { backlog_s }, "backlog_reject"));
+        }
+        let samples = if budget_s.is_finite() {
+            ((budget_s / t.sample_s.max(1e-12)) as u64).max(1)
+        } else {
+            self.config.max_approx_samples.max(1)
+        };
+        if samples >= self.config.min_approx_samples {
+            let samples = samples.min(self.config.max_approx_samples).max(1);
+            return Some((Admission::Admit(Route::Approx { samples }), "fault_approx"));
+        }
+        if t.has_predictor {
+            return Some((Admission::Admit(Route::Predicted), "fault_predicted"));
+        }
+        Some((
+            Admission::Admit(Route::Approx { samples: self.config.min_approx_samples.max(1) }),
+            "fault_approx_floor",
+        ))
+    }
+
     fn decide(&self, query: &Query, t: &KbTelemetry) -> Route {
         let Some(deadline) = query.deadline else {
             return Route::Exact;

@@ -312,6 +312,16 @@ impl CircuitStore {
         self.sync_occupancy_gauges();
     }
 
+    /// Drops every entry at once (fault-injection cache wipes). The
+    /// recompile-cost history survives, so re-inserted keys are still
+    /// judged by their full recompilation record under the cost-aware
+    /// eviction policy.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.bytes = 0;
+        self.sync_occupancy_gauges();
+    }
+
     /// Removes an entry outright (KB deregistration), returning it.
     pub fn remove(&mut self, key: &FormulaFingerprint) -> Option<StoredCircuit> {
         let removed = self.entries.remove(key).map(|slot| {

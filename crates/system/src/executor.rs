@@ -35,6 +35,7 @@
 //! ```
 
 use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -257,6 +258,13 @@ pub enum Verdict {
     /// query order; each element is what the corresponding single-query
     /// [`SymbolicStage::Serve`] task would have reported.
     Batch(Vec<Verdict>),
+    /// The task's worker panicked. The panic is contained to this slot:
+    /// the lane keeps draining and every other task in the batch still
+    /// reports its real verdict.
+    Failed {
+        /// The panic payload, when it carried a message.
+        reason: String,
+    },
     /// A synthetic stage completed.
     Done,
 }
@@ -457,7 +465,7 @@ impl BatchExecutor {
         let (task_tx, task_rx) = channel::unbounded::<usize>();
         // Stage-2 ready queue: `neural_ready` notifications in completion
         // order, carrying the measured stage-1 duration.
-        let (ready_tx, ready_rx) = channel::unbounded::<(usize, f64)>();
+        let (ready_tx, ready_rx) = channel::unbounded::<(usize, f64, Option<String>)>();
         let slots: Vec<Mutex<Option<TaskResult>>> =
             tasks.iter().map(|_| Mutex::new(None)).collect();
 
@@ -469,12 +477,20 @@ impl BatchExecutor {
                 scope.spawn(move |_| {
                     while let Ok(i) = task_rx.recv() {
                         let t0 = Instant::now();
-                        let buffer = run_neural(&tasks[i].neural);
+                        let outcome =
+                            panic::catch_unwind(AssertUnwindSafe(|| run_neural(&tasks[i].neural)));
                         let neural_s = t0.elapsed().as_secs_f64();
+                        // A panicking task publishes an empty buffer and
+                        // carries the panic downstream; the lane itself
+                        // keeps draining.
+                        let (buffer, panicked) = match outcome {
+                            Ok(buffer) => (buffer, None),
+                            Err(payload) => (Vec::new(), Some(panic_message(&*payload))),
+                        };
                         shm.publish_neural(i as u64, buffer);
                         // Receivers only disappear if a symbolic worker
-                        // panicked; the scope join will surface that.
-                        let _ = ready_tx.send((i, neural_s));
+                        // died; the scope join will surface that.
+                        let _ = ready_tx.send((i, neural_s, panicked));
                     }
                 });
             }
@@ -496,19 +512,38 @@ impl BatchExecutor {
                     // task this worker executes reuses it, so repeated
                     // queries against shared circuits are allocation-free.
                     let mut eval_buf = EvalBuffer::new();
-                    while let Ok((i, neural_s)) = ready_rx.recv() {
+                    while let Ok((i, neural_s, neural_panic)) = ready_rx.recv() {
                         if let Some(c) = &lane_tasks {
                             c.inc();
                         }
                         let buffer = shm
                             .take_neural(i as u64)
                             .expect("neural_ready is raised before dispatch");
-                        let (verdict, symbolic_s) = match premap.get(&i) {
-                            Some((v, share_s)) => (v.clone(), *share_s),
-                            None => {
-                                let t0 = Instant::now();
-                                let v = run_symbolic(&tasks[i].symbolic, &mut eval_buf);
-                                (v, t0.elapsed().as_secs_f64())
+                        let (verdict, symbolic_s) = if let Some(reason) = neural_panic {
+                            // The neural stage already died: skip the
+                            // symbolic stage, fail only this slot.
+                            (Verdict::Failed { reason }, 0.0)
+                        } else {
+                            match premap.get(&i) {
+                                Some((v, share_s)) => (v.clone(), *share_s),
+                                None => {
+                                    let t0 = Instant::now();
+                                    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                                        run_symbolic(&tasks[i].symbolic, &mut eval_buf)
+                                    }));
+                                    let symbolic_s = t0.elapsed().as_secs_f64();
+                                    match outcome {
+                                        Ok(v) => (v, symbolic_s),
+                                        Err(payload) => {
+                                            // The buffer may have been
+                                            // half-updated when the task
+                                            // died: start the lane fresh.
+                                            eval_buf = EvalBuffer::new();
+                                            let reason = panic_message(&*payload);
+                                            (Verdict::Failed { reason }, symbolic_s)
+                                        }
+                                    }
+                                }
                             }
                         };
                         *slots[i].lock() = Some(TaskResult {
@@ -549,14 +584,31 @@ fn run_serial(tasks: &[BatchTask], premap: &HashMap<usize, (Verdict, f64)>) -> V
     for i in edf_order(tasks) {
         let task = &tasks[i];
         let t0 = Instant::now();
-        let buffer = run_neural(&task.neural);
+        let neural = panic::catch_unwind(AssertUnwindSafe(|| run_neural(&task.neural)));
         let neural_s = t0.elapsed().as_secs_f64();
-        let (verdict, symbolic_s) = match premap.get(&i) {
-            Some((v, share_s)) => (v.clone(), *share_s),
-            None => {
-                let t1 = Instant::now();
-                let v = run_symbolic(&task.symbolic, &mut eval_buf);
-                (v, t1.elapsed().as_secs_f64())
+        let (buffer, neural_panic) = match neural {
+            Ok(buffer) => (buffer, None),
+            Err(payload) => (Vec::new(), Some(panic_message(&*payload))),
+        };
+        let (verdict, symbolic_s) = if let Some(reason) = neural_panic {
+            (Verdict::Failed { reason }, 0.0)
+        } else {
+            match premap.get(&i) {
+                Some((v, share_s)) => (v.clone(), *share_s),
+                None => {
+                    let t1 = Instant::now();
+                    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                        run_symbolic(&task.symbolic, &mut eval_buf)
+                    }));
+                    let symbolic_s = t1.elapsed().as_secs_f64();
+                    match outcome {
+                        Ok(v) => (v, symbolic_s),
+                        Err(payload) => {
+                            eval_buf = EvalBuffer::new();
+                            (Verdict::Failed { reason: panic_message(&*payload) }, symbolic_s)
+                        }
+                    }
+                }
             }
         };
         results[i] = Some(TaskResult {
@@ -568,6 +620,17 @@ fn run_serial(tasks: &[BatchTask], premap: &HashMap<usize, (Verdict, f64)>) -> V
         });
     }
     results.into_iter().map(|r| r.expect("every task executed")).collect()
+}
+
+/// Extracts the human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
 }
 
 fn run_neural(stage: &NeuralStage) -> Vec<f64> {
@@ -917,6 +980,77 @@ mod tests {
             // The buffers that crossed shared memory are identical too.
             for (a, b) in threaded.results.iter().zip(&serial.results) {
                 assert_eq!(a.neural_output, b.neural_output);
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_task_fails_its_slot_and_lanes_keep_draining() {
+        // Task 1's symbolic stage panics deliberately: the evidence
+        // arity (4) does not match the circuit (8 vars), which trips
+        // the `evidence arity mismatch` assert inside evaluation.
+        let mut tasks = demo_batch(6, 7);
+        let circuit = random_mixture_circuit(&StructureConfig {
+            num_vars: 8,
+            depth: 3,
+            num_components: 2,
+            seed: 99,
+        });
+        tasks[1] = BatchTask {
+            name: "poison".to_string(),
+            neural: tasks[1].neural.clone(),
+            symbolic: SymbolicStage::Pc { circuit, evidence: Evidence::empty(4) },
+            deadline: None,
+        };
+
+        let serial = BatchExecutor::new(ExecutorConfig::sequential()).run(&tasks);
+        let reference = BatchExecutor::new(ExecutorConfig::sequential())
+            .run(&demo_batch(6, 7).into_iter().filter(|t| t.name != "task-1").collect::<Vec<_>>());
+        for workers in [1, 2, 4] {
+            let threaded = BatchExecutor::new(ExecutorConfig::overlapped(workers)).run(&tasks);
+            assert_eq!(threaded.results.len(), tasks.len(), "no slot lost to the panic");
+            match &threaded.results[1].verdict {
+                Verdict::Failed { reason } => {
+                    assert!(reason.contains("arity"), "unexpected panic message: {reason}");
+                }
+                other => panic!("poisoned slot must fail, got {other:?}"),
+            }
+            // Every healthy task still answers, identically to a run
+            // that never saw the poisoned task.
+            assert!(threaded.agrees_with(&serial), "workers = {workers}");
+            let healthy: Vec<&Verdict> = threaded
+                .results
+                .iter()
+                .filter(|r| r.name != "poison")
+                .map(|r| &r.verdict)
+                .collect();
+            assert_eq!(healthy.len(), reference.results.len());
+            for (got, want) in healthy.iter().zip(&reference.results) {
+                assert_eq!(**got, want.verdict);
+            }
+        }
+    }
+
+    #[test]
+    fn neural_stage_panic_is_contained_too() {
+        let mut tasks = demo_batch(4, 3);
+        // An MLP input whose width (8) does not match the layer (16)
+        // panics inside the forward pass — on the neural pool.
+        let mlp = MlpBuilder::new(16).layer(8, false, 5).build();
+        tasks[2] = BatchTask {
+            name: "poison-neural".to_string(),
+            neural: NeuralStage::Mlp { mlp, input: Matrix::random(4, 8, 1.0, 5) },
+            symbolic: tasks[2].symbolic.clone(),
+            deadline: None,
+        };
+        for config in [ExecutorConfig::sequential(), ExecutorConfig::overlapped(2)] {
+            let report = BatchExecutor::new(config).run(&tasks);
+            assert!(matches!(report.results[2].verdict, Verdict::Failed { .. }));
+            assert!(report.results[2].neural_output.is_empty());
+            for (i, r) in report.results.iter().enumerate() {
+                if i != 2 {
+                    assert!(!matches!(r.verdict, Verdict::Failed { .. }), "slot {i} infected");
+                }
             }
         }
     }

@@ -507,6 +507,110 @@ proptest! {
             );
         }
     }
+
+    #[test]
+    fn removing_a_shard_remaps_only_its_own_keys(shards in 2usize..8, dead in 0usize..8, seed in 0u64..10_000) {
+        // Failover's routing contract, the shrink direction of the
+        // grow property above: dropping a dead shard from the ring
+        // only remaps the keys that lived on it — surviving shards
+        // never trade keys among themselves, so a failover storm
+        // cannot cascade recompiles across healthy shards.
+        use rand::{Rng, SeedableRng};
+        use reason::serve::{FormulaFingerprint, HashRing};
+        let dead = dead % shards;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let cnf = Cnf::from_clauses(3, vec![vec![1, 2], vec![-2, 3]]);
+        let ring = HashRing::new(shards, 32, seed);
+        let shrunk = ring.remove_shard(dead);
+        for _ in 0..128 {
+            let probs: Vec<f64> = (0..3).map(|_| rng.gen_range(0.05..0.95)).collect();
+            let fp = FormulaFingerprint::from_parts(3, cnf.clauses(), &WmcWeights::new(probs));
+            let before = ring.shard_for(&fp);
+            let after = shrunk.shard_for(&fp);
+            prop_assert!(after != dead, "removed shard {} still owns a key", dead);
+            if before != dead {
+                prop_assert_eq!(
+                    after, before,
+                    "removing shard {} moved a key from surviving shard {}", dead, before
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_cluster_loses_no_query_and_exact_answers_match_oracle(cnf in arb_cnf(8, 14), seed in 0u64..500) {
+        // The fault layer's availability contract: under ANY seeded
+        // fault plan (crashes, slow shards, compile faults, cache
+        // wipes) the cluster loses no query — every submission gets
+        // exactly one outcome, every admitted query an answer — and
+        // every exact answer that was not degraded by a fault is
+        // bit-identical to an unsharded engine's, whether it was
+        // served on the home shard, retried, or recompiled on a
+        // failover shard. (The breaker's closed → open → half-open →
+        // closed walk is pinned separately in `reason_serve::fault`.)
+        use std::time::Duration;
+        use reason::pc::CompiledWmc;
+        use reason::serve::{
+            Admission, Answer, ClusterConfig, FaultConfig, FaultPlan, Query, QueryKind, Route,
+            ServeCluster, ServeConfig, ServeEngine,
+        };
+        let weights = WmcWeights::uniform(8);
+        if !CompiledWmc::new(&cnf, &weights).has_mass() {
+            return Ok(()); // massless KBs are rejected at registration
+        }
+        let shards = 2 + (seed as usize) % 3;
+        let mut config = ClusterConfig::with_shards(shards);
+        config.engine = ServeConfig { approx_seed: seed, ..ServeConfig::default() };
+        let mut cluster = ServeCluster::new(config);
+        let kb = cluster.register("kb", &cnf, weights.clone());
+        // A fault plan over the whole workload horizon, seeded from the
+        // case seed: any mix of crashes, slowdowns, compile faults and
+        // cache wipes the generator can produce.
+        cluster.install_fault_domain(FaultPlan::seeded(seed, shards, 8.0), FaultConfig::default());
+        let arrivals: Vec<_> = (0..8)
+            .map(|i| {
+                let q = match i % 3 {
+                    0 => Query::exact(QueryKind::Wmc),
+                    1 => Query::with_deadline(QueryKind::Wmc, Duration::from_micros(200)),
+                    _ => Query::with_deadline(QueryKind::Wmc, Duration::from_millis(10)),
+                };
+                (kb, q, i as f64)
+            })
+            .collect();
+        let report = cluster.serve_at(&arrivals).unwrap();
+        prop_assert_eq!(report.outcomes.len(), arrivals.len(), "no query may vanish");
+
+        let mut single = ServeEngine::new(ServeConfig::default());
+        let skb = single.register("kb", &cnf, weights);
+        let reference = single.serve(skb, &[Query::exact(QueryKind::Wmc)]).unwrap();
+        let Answer::Exact(truth) = reference.outcomes[0].answer else {
+            panic!("deadline-free query is exact");
+        };
+        for outcome in &report.outcomes {
+            match outcome.decision {
+                Admission::Reject { .. } => {
+                    prop_assert!(outcome.answer.is_none());
+                    prop_assert!(outcome.deadline_miss, "rejects must be flagged");
+                }
+                Admission::Admit(route) => {
+                    prop_assert!(
+                        outcome.answer.is_some(),
+                        "admitted query lost under faults: {:?}", outcome
+                    );
+                    if matches!(route, Route::Exact) && !outcome.degraded_by_fault {
+                        let Some(Answer::Exact(z)) = outcome.answer else {
+                            panic!("exact admission must answer exactly: {outcome:?}");
+                        };
+                        prop_assert_eq!(
+                            z.to_bits(), truth.to_bits(),
+                            "exact answer {} differs from oracle {} (failover={})",
+                            z, truth, outcome.failover
+                        );
+                    }
+                }
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
