@@ -1,0 +1,103 @@
+//! Profiling and SLO-monitoring overhead benchmarks: the cost of
+//! folding a span forest into a flame-graph profile, rendering the
+//! collapsed-stack export, differencing two profiles, scanning for
+//! tail exemplars, and the per-sample cost of SLO burn-rate
+//! evaluation — the continuous-observability paths that run after (or
+//! during) every sweep.
+//!
+//! `cargo bench --bench bench_profile` (shimmed timing; raise
+//! `CRITERION_SHIM_ITERS` for real measurements).
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use reason_telemetry::profile::{exemplars, Profile};
+use reason_telemetry::slo::{Objective, SloMonitor, SloSpec};
+use reason_telemetry::trace::SpanRecord;
+use reason_telemetry::{Telemetry, Tracer, VirtualClock};
+
+/// A deterministic span forest shaped like a serving sweep: `queries`
+/// root chains of admit → (compile →) eval children across 4 shards.
+fn sweep_spans(queries: u64) -> Vec<SpanRecord> {
+    let tracer = Tracer::new(VirtualClock::shared());
+    for i in 0..queries {
+        let t = i as f64 * 1e-4;
+        let shard = (i % 4).to_string();
+        let root = tracer.record_span(i + 1, "cluster.query", &[("shard", &shard)], t, t + 9e-5);
+        tracer.record_span_under(i + 1, "cluster.admit", &[], t, t + 1e-6, root);
+        if i % 7 == 0 {
+            tracer.record_span_under(i + 1, "serve.compile", &[], t + 1e-6, t + 4e-5, root);
+            tracer.record_span_under(i + 1, "serve.eval", &[], t + 4e-5, t + 9e-5, root);
+        } else {
+            tracer.record_span_under(i + 1, "serve.eval", &[], t + 1e-6, t + 9e-5, root);
+        }
+    }
+    tracer.finished()
+}
+
+/// Folding a sweep's span forest into collapsed stacks, and rendering
+/// the speedscope/inferno text export.
+fn bench_fold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile_fold");
+    let spans = sweep_spans(300);
+    group.bench_function("from_spans_300_queries", |b| {
+        b.iter(|| black_box(Profile::from_spans(&spans).total_ns()))
+    });
+    let profile = Profile::from_spans(&spans);
+    group.bench_function("collapsed_render", |b| b.iter(|| black_box(profile.collapsed().len())));
+    group.bench_function("hotspots_top10", |b| b.iter(|| black_box(profile.hotspots(10).len())));
+    group.finish();
+}
+
+/// Differential profiles and tail-exemplar scans over the same forest.
+fn bench_diff_and_exemplars(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile_diff");
+    let baseline = Profile::from_spans(&sweep_spans(300));
+    let candidate = Profile::from_spans(&sweep_spans(450));
+    group.bench_function("diff_300_vs_450", |b| {
+        b.iter(|| black_box(candidate.diff(&baseline).len()))
+    });
+    let spans = sweep_spans(300);
+    group.bench_function("exemplars_top3_of_300", |b| {
+        b.iter(|| black_box(exemplars(&spans, "cluster.query", 3).len()))
+    });
+    group.finish();
+}
+
+/// The SLO monitor's per-sample cost: registry snapshot + burn-rate
+/// windows per spec. This is the observe-per-arrival hot path the
+/// serving cluster pays while a sweep runs.
+fn bench_slo_observe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slo_observe");
+    let telemetry = Arc::new(Telemetry::with_clock(VirtualClock::shared()));
+    let admissions = telemetry.registry.counter("admissions_total", &[]);
+    let rejects = telemetry.registry.counter("rejects_total", &[]);
+    let mut monitor = SloMonitor::new(telemetry.clone(), u64::MAX);
+    monitor.add(SloSpec {
+        name: "availability".into(),
+        objective: Objective::CounterRatio {
+            bad: vec!["rejects_total".into()],
+            total: vec!["rejects_total".into(), "admissions_total".into()],
+        },
+        budget: 0.01,
+        fast_window_s: 0.5,
+        slow_window_s: 2.0,
+        burn_threshold: 10.0,
+    });
+    let mut t = 0.0f64;
+    group.bench_function("observe_x100", |b| {
+        b.iter(|| {
+            for i in 0..100u64 {
+                admissions.add(9);
+                rejects.add(u64::from(i % 19 == 0));
+                t += 1e-3;
+                monitor.observe(t);
+            }
+            black_box(monitor.alerts().len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fold, bench_diff_and_exemplars, bench_slo_observe);
+criterion_main!(benches);

@@ -3,10 +3,12 @@
 //!
 //! ```text
 //! reason-eval <experiment> [tasks] [workers] [--json] [--seed N]
-//!             [--trace-out FILE]
+//!             [--trace-out FILE] [--profile-out FILE]
+//!             [--baseline-dir DIR]
 //!   experiments: fig2 fig3a fig3b fig3c fig3d table2 table3 table4
 //!                fig8 fig9 fig11 fig12 fig13 table5 ablation dse
-//!                pipeline approx compile serve batch traffic trace all
+//!                pipeline approx compile serve batch traffic trace
+//!                chaos slo profile audit all
 //!   pipeline: runs [tasks] mixed SAT/PC/approx/exact-WMC/serve tasks
 //!             on the threaded BatchExecutor with [workers] symbolic
 //!             workers
@@ -30,8 +32,8 @@
 //!   trace:    deterministic observability replay — the traffic
 //!             generator against a telemetry-instrumented cluster on a
 //!             virtual clock; per-stage latency attribution
-//!             (queue/compile/exec must reproduce the modeled latency
-//!             within 1%), an allowlisted metric snapshot, per-tenant
+//!             (queue/compile/exec partitions the modeled latency
+//!             bit-exactly per query), an allowlisted metric snapshot, per-tenant
 //!             cost-model state, and a Perfetto/Chrome trace
 //!             (--trace-out FILE writes it); --json is the committed
 //!             BENCH_obs.json and is byte-identical per seed
@@ -42,10 +44,34 @@
 //!             breaker counters; guards zero lost queries and exact
 //!             bit-identity vs the single-engine oracle (byte-identical
 //!             JSON per seed)
+//!   slo:      SLO burn-rate sweep — the default serving objectives
+//!             (availability, deadline-miss, latency-quantile) evaluated
+//!             live against a warmed cluster under the chaos fault
+//!             plans; crash cells deterministically page the
+//!             availability SLO while the no-fault baseline stays
+//!             quiet; --json is the committed BENCH_slo.json and is
+//!             byte-identical per seed
+//!   profile:  continuous-profiling experiment — the span forest of a
+//!             traffic replay folded into deterministic flame-graph
+//!             profiles: top-k hotspots (self vs total time), a
+//!             differential profile of the crash plan vs the no-fault
+//!             baseline, and worst-query tail exemplars with full
+//!             admit -> route -> compile -> eval span chains
+//!   audit:    the perf-regression sentinel — re-runs the sweep behind
+//!             every committed BENCH_*.json baseline and compares
+//!             field-by-field under per-metric tolerance bands (zero
+//!             for deterministic metrics, infinite for wall-clock
+//!             timings); exits 1 on any mismatch, so it gates CI
 //!   --seed N: seeds the seedable experiments (approx, pipeline,
-//!             compile, serve, batch, traffic, trace, chaos)
+//!             compile, serve, batch, traffic, trace, chaos, slo,
+//!             profile)
 //!   --trace-out FILE: with `trace`, writes the final cell's Chrome
 //!             trace_event JSON to FILE (open in Perfetto)
+//!   --profile-out FILE: with `profile`, writes the baseline cell's
+//!             collapsed-stack profile to FILE (load in speedscope or
+//!             feed to inferno-flamegraph)
+//!   --baseline-dir DIR: with `audit`, the directory holding the
+//!             committed BENCH_*.json files (default `.`)
 //!   --json:   machine-readable output — native rows for approx,
 //!             compile, serve, and batch, a {"experiment", "text"} wrapper for
 //!             the table/figure experiments — so sweeps are scriptable
@@ -69,10 +95,10 @@ struct EvalOpts {
 fn usage() -> ! {
     eprintln!(
         "usage: reason-eval <experiment> [tasks] [workers] [--json] [--seed N] \
-         [--trace-out FILE]\n\
+         [--trace-out FILE] [--profile-out FILE] [--baseline-dir DIR]\n\
          experiments: fig2 fig3a fig3b fig3c fig3d table2 table3 table4 fig8 fig9 \
          fig11 fig12 fig13 table5 ablation dse pipeline approx compile serve batch traffic \
-         trace chaos all"
+         trace chaos slo profile audit all"
     );
     std::process::exit(2);
 }
@@ -81,6 +107,8 @@ fn main() {
     let mut which: Option<String> = None;
     let mut positional: Vec<usize> = Vec::new();
     let mut trace_out: Option<String> = None;
+    let mut profile_out: Option<String> = None;
+    let mut baseline_dir = ".".to_string();
     let mut opts = EvalOpts { tasks: 4, workers: 4, seed: 42, json: false, baseline_cap: 28 };
 
     let mut args = std::env::args().skip(1);
@@ -98,6 +126,20 @@ fn main() {
                 Some(path) => trace_out = Some(path),
                 None => {
                     eprintln!("--trace-out requires a file path");
+                    usage();
+                }
+            },
+            "--profile-out" => match args.next() {
+                Some(path) => profile_out = Some(path),
+                None => {
+                    eprintln!("--profile-out requires a file path");
+                    usage();
+                }
+            },
+            "--baseline-dir" => match args.next() {
+                Some(dir) => baseline_dir = dir,
+                None => {
+                    eprintln!("--baseline-dir requires a directory path");
                     usage();
                 }
             },
@@ -150,6 +192,8 @@ fn main() {
             "traffic" => Some(experiments::traffic(opts.seed)),
             "trace" => Some(experiments::trace(opts.seed)),
             "chaos" => Some(experiments::chaos(opts.seed)),
+            "slo" => Some(experiments::slo(opts.seed)),
+            "profile" => Some(experiments::profile(opts.seed)),
             _ => None,
         }
     };
@@ -165,6 +209,8 @@ fn main() {
             "traffic" => Some(experiments::traffic_json(opts.seed)),
             "trace" => Some(experiments::trace_json(opts.seed)),
             "chaos" => Some(experiments::chaos_json(opts.seed)),
+            "slo" => Some(experiments::slo_json(opts.seed)),
+            "profile" => Some(experiments::profile_json(opts.seed)),
             _ => run(name).map(|text| {
                 Json::Obj(vec![
                     ("experiment".into(), Json::Str(name.into())),
@@ -174,10 +220,13 @@ fn main() {
         }
     };
 
+    // `audit` is not part of `all`: it re-runs the other sweeps and
+    // compares them against the committed files, so it is a gate over
+    // the suite, not a member of it.
     let all = [
         "fig2", "fig3a", "fig3b", "fig3c", "fig3d", "table2", "table3", "table4", "fig8", "fig9",
         "fig11", "fig12", "fig13", "table5", "ablation", "dse", "pipeline", "approx", "compile",
-        "serve", "batch", "traffic", "trace", "chaos",
+        "serve", "batch", "traffic", "trace", "chaos", "slo", "profile",
     ];
     if let Some(path) = &trace_out {
         if which != "trace" {
@@ -189,6 +238,26 @@ fn main() {
             eprintln!("failed to write {path}: {err}");
             std::process::exit(1);
         }
+    }
+    if let Some(path) = &profile_out {
+        if which != "profile" {
+            eprintln!("--profile-out only applies to the `profile` experiment");
+            usage();
+        }
+        let artifact = experiments::profile_artifact(opts.seed);
+        if let Err(err) = std::fs::write(path, artifact) {
+            eprintln!("failed to write {path}: {err}");
+            std::process::exit(1);
+        }
+    }
+    if which == "audit" {
+        let (checks, pass) = experiments::audit_verdict(std::path::Path::new(&baseline_dir));
+        if opts.json {
+            println!("{}", experiments::audit_render_json(&checks).render());
+        } else {
+            println!("{}", experiments::audit_render_text(&checks));
+        }
+        std::process::exit(if pass { 0 } else { 1 });
     }
     if which == "all" {
         if opts.json {

@@ -4,14 +4,21 @@
 //! values, so printed-vs-paper comparison needs no external record.
 
 pub mod approx;
+pub mod audit;
 pub mod batch;
 pub mod chaos;
 pub mod compile;
+pub mod profile;
 pub mod serve;
+pub mod slo;
 pub mod trace;
 pub mod traffic;
 
 pub use approx::{approx, approx_json, approx_rows, approx_rows_for, ApproxRow, SWEEP_SIZES};
+pub use audit::{
+    audit, audit_compare, audit_json, audit_render_json, audit_render_text, audit_verdict,
+    AuditCheck, AuditRule, RULES,
+};
 pub use batch::{
     batch, batch_json, batch_rows_for, batch_summary, AccelRow, BatchRow, BATCH_LANES,
 };
@@ -22,7 +29,15 @@ pub use chaos::{
 pub use compile::{
     compile_json, compile_report, compile_rows, CompileRow, COMPARE_SIZES, EXTENDED_SIZES,
 };
+pub use profile::{
+    profile, profile_artifact, profile_json, profile_summary, ProfileSummary, PROFILE_QPS,
+    PROFILE_QUERIES, PROFILE_SHARDS,
+};
 pub use serve::{serve, serve_json, serve_rows_for, serve_summary, ServeRow, SERVE_SIZES};
+pub use slo::{
+    slo, slo_cells_for, slo_json, slo_summary, SloCell, SloSummary, SLO_QPS, SLO_QUERIES,
+    SLO_SCENARIOS, SLO_SHARDS,
+};
 pub use trace::{
     trace, trace_artifact, trace_cells_for, trace_json, trace_summary, TraceCell, TraceSummary,
     METRIC_ALLOWLIST, TRACE_QPS, TRACE_QUERIES, TRACE_SHARDS,

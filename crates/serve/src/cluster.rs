@@ -32,6 +32,8 @@ use std::sync::Arc;
 
 use reason_pc::{FormulaFingerprint, WmcWeights};
 use reason_sat::Cnf;
+use reason_telemetry::profile::{exemplars, Exemplar};
+use reason_telemetry::slo::{Objective, SloAlert, SloMonitor, SloSpec};
 use reason_telemetry::Telemetry;
 
 use crate::engine::{Answer, KbId, ServeConfig, ServeEngine, ServeError};
@@ -349,7 +351,14 @@ pub struct ServeCluster {
     /// Fault-tolerance state; `None` (the default) keeps the serve path
     /// exactly as fast as before the fault layer existed.
     fault: Option<FaultDomain>,
+    /// Live SLO evaluation; `None` (the default) adds no per-arrival
+    /// work. Alert spans land on [`SLO_TRACK`].
+    slo: Option<SloMonitor>,
 }
+
+/// The span track [`SloMonitor`] alert spans use — far above the
+/// per-query tracks, which count up from 1.
+pub const SLO_TRACK: u64 = u64::MAX;
 
 impl ServeCluster {
     /// A cluster of `config.shards` identically configured engines.
@@ -370,6 +379,7 @@ impl ServeCluster {
             telemetry: None,
             next_track: 1,
             fault: None,
+            slo: None,
         }
     }
 
@@ -424,6 +434,102 @@ impl ServeCluster {
             engine.attach_telemetry(telemetry.clone(), shard);
         }
         self.telemetry = Some(telemetry);
+    }
+
+    /// The default SLO set for a sweep spanning `horizon_s` virtual
+    /// seconds: availability (reject fraction), deadline-miss fraction,
+    /// and modeled latency, each burn-rate-alerted over a fast window
+    /// of `horizon_s / 20` and a slow window of `horizon_s / 5`. The
+    /// budgets are sized so healthy traffic/chaos baselines stay quiet
+    /// while a crashed shard's reject concentration trips availability.
+    pub fn default_slo_specs(horizon_s: f64) -> Vec<SloSpec> {
+        let fast_window_s = horizon_s / 20.0;
+        let slow_window_s = horizon_s / 5.0;
+        let all: Vec<String> =
+            vec!["cluster_admissions_total".into(), "cluster_rejects_total".into()];
+        vec![
+            SloSpec {
+                name: "availability".into(),
+                objective: Objective::CounterRatio {
+                    bad: vec!["cluster_rejects_total".into()],
+                    total: all.clone(),
+                },
+                budget: 0.01,
+                fast_window_s,
+                slow_window_s,
+                burn_threshold: 10.0,
+            },
+            SloSpec {
+                name: "deadline".into(),
+                objective: Objective::CounterRatio {
+                    bad: vec!["cluster_deadline_miss_total".into()],
+                    total: all,
+                },
+                budget: 0.25,
+                fast_window_s,
+                slow_window_s,
+                burn_threshold: 3.0,
+            },
+            SloSpec {
+                name: "latency_1ms".into(),
+                objective: Objective::LatencyAbove {
+                    histogram: "cluster_modeled_latency_seconds".into(),
+                    threshold_s: 1e-3,
+                },
+                budget: 0.1,
+                fast_window_s,
+                slow_window_s,
+                burn_threshold: 5.0,
+            },
+        ]
+    }
+
+    /// Installs (or replaces) live SLO evaluation: every
+    /// [`serve_at`](Self::serve_at) arrival re-measures the objectives
+    /// at its arrival time, burn rates land in `slo_*` metrics, and
+    /// alerts become spans on [`SLO_TRACK`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when no telemetry is attached (the objectives read the
+    /// attached registry) or when a spec is malformed (see
+    /// [`SloMonitor::add`]).
+    pub fn install_slos(&mut self, specs: Vec<SloSpec>) {
+        let tel =
+            self.telemetry.clone().expect("attach_telemetry before install_slos: SLOs read it");
+        let mut monitor = SloMonitor::new(tel, SLO_TRACK);
+        for spec in specs {
+            monitor.add(spec);
+        }
+        self.slo = Some(monitor);
+    }
+
+    /// Every SLO alert fired so far; empty before
+    /// [`install_slos`](Self::install_slos).
+    pub fn slo_alerts(&self) -> &[SloAlert] {
+        self.slo.as_ref().map_or(&[], |m| m.alerts())
+    }
+
+    /// The installed SLO monitor, if any.
+    pub fn slo_monitor(&self) -> Option<&SloMonitor> {
+        self.slo.as_ref()
+    }
+
+    /// Resolves every still-active SLO alert at virtual time `t` (end
+    /// of sweep), recording their spans. No-op without a monitor.
+    pub fn finish_slos(&mut self, t: f64) {
+        if let Some(monitor) = &mut self.slo {
+            monitor.finish(t);
+        }
+    }
+
+    /// The `k` worst modeled-latency queries served so far, each with
+    /// its full admit → route → compile → eval span chain — the tail
+    /// worth reading first. Empty without attached telemetry.
+    pub fn tail_exemplars(&self, k: usize) -> Vec<Exemplar> {
+        self.telemetry
+            .as_ref()
+            .map_or_else(Vec::new, |tel| exemplars(&tel.tracer.finished(), "cluster.query", k))
     }
 
     /// The deterministic per-KB cost models admission judges against,
@@ -517,10 +623,13 @@ impl ServeCluster {
     ) -> Result<ClusterReport, ServeError> {
         // Taken out of `self` so the fault-aware helpers can borrow the
         // cluster mutably (lazy failover registration, cache wipes)
-        // while walking the domain; restored before returning.
+        // while walking the domain; restored before returning. The SLO
+        // monitor rides along the same way.
         let mut fault = self.fault.take();
-        let result = self.serve_at_inner(arrivals, &mut fault);
+        let mut slo = self.slo.take();
+        let result = self.serve_at_inner(arrivals, &mut fault, &mut slo);
         self.fault = fault;
+        self.slo = slo;
         result
     }
 
@@ -528,6 +637,7 @@ impl ServeCluster {
         &mut self,
         arrivals: &[(ClusterKbId, Query, f64)],
         fault: &mut Option<FaultDomain>,
+        slo: &mut Option<SloMonitor>,
     ) -> Result<ClusterReport, ServeError> {
         let tel = self.telemetry.clone();
         let mut stats = AdmissionStats::default();
@@ -640,12 +750,16 @@ impl ServeCluster {
                     let cost_s = modeled_cost(route, query, &tel_eff) * mult;
                     let compile_s = if cold { tel_eff.compile_s * mult } else { 0.0 };
                     self.free_at[shard] = start + cost_s;
-                    let modeled_latency_s = self.free_at[shard] - t;
                     let stage = StageBreakdown {
                         queue_s: (start - t).max(0.0),
                         compile_s,
                         exec_s: cost_s - compile_s,
                     };
+                    // The reported latency is *defined* as the stage
+                    // sum, so the breakdown partitions it bit-exactly
+                    // instead of drifting by a rounding term from
+                    // `(start + cost) - t`.
+                    let modeled_latency_s = stage.total();
                     let deadline_miss =
                         query.deadline.is_some_and(|d| modeled_latency_s > d.as_secs_f64());
                     let route_label = match route {
@@ -705,6 +819,12 @@ impl ServeCluster {
                         None => groups.push((key, vec![(i, query.clone(), route)])),
                     }
                 }
+            }
+            // Re-measure the objectives now that this arrival's
+            // counters landed — burn-rate windows advance in the same
+            // virtual time admission models.
+            if let Some(monitor) = slo.as_mut() {
+                monitor.observe(*t);
             }
         }
 
@@ -1034,6 +1154,12 @@ fn record_admit_telemetry(
     if deadline_miss {
         tel.registry.counter("cluster_deadline_miss_total", &[("shard", &shard_label)]).inc();
     }
+    // Modeled arrival-to-completion latency, per shard — the histogram
+    // the default latency SLO watches (merge the shards' snapshots via
+    // `Histogram::merge` for the cluster-wide view).
+    tel.registry
+        .histogram("cluster_modeled_latency_seconds", &[("shard", &shard_label)])
+        .record(stage.total());
     let end = start + stage.compile_s + stage.exec_s;
     let root = tel.tracer.record_span(track, "cluster.query", &labels, t, end);
     tel.tracer.record_span_under(track, "cluster.admit", &[("decision", "admit")], t, t, root);
@@ -1271,10 +1397,9 @@ mod tests {
         ];
         let report = cluster.serve_at(&arrivals).unwrap();
 
-        // Stage breakdowns partition the modeled latency exactly.
+        // Stage breakdowns partition the modeled latency bit-exactly.
         for o in &report.outcomes {
-            let err = (o.stage.total() - o.modeled_latency_s).abs();
-            assert!(err <= 1e-12 * o.modeled_latency_s.max(1.0), "{o:?}");
+            assert_eq!(o.stage.total().to_bits(), o.modeled_latency_s.to_bits(), "{o:?}");
         }
         assert!(report.outcomes[0].stage.compile_s > 0.0, "cold query pays the compile");
         assert_eq!(report.outcomes[1].stage.compile_s, 0.0, "warm query does not");
@@ -1333,6 +1458,91 @@ mod tests {
                 && m.labels.contains(&("route".to_string(), "exact".to_string()))),
             "admissions must carry tenant and route labels"
         );
+    }
+
+    #[test]
+    fn rejecting_cluster_trips_the_availability_slo_and_exposes_exemplars() {
+        use reason_telemetry::{Telemetry, VirtualClock};
+
+        let tel = Arc::new(Telemetry::with_clock(VirtualClock::shared()));
+        let cnf = chain_cnf(8);
+        let mut cluster = ServeCluster::new(ClusterConfig::with_shards(2));
+        cluster.attach_telemetry(tel.clone());
+        let kb = cluster.register("chain", &cnf, WmcWeights::uniform(8));
+        let horizon = 60e-6;
+        cluster.install_slos(ServeCluster::default_slo_specs(horizon));
+
+        // Arrivals spaced well below the modeled service time, so the
+        // backlog only grows: deadline-free queries keep feeding the
+        // queue while tight-deadline queries reject against it — a
+        // sustained availability burn far past 10x the 1% budget.
+        let mut arrivals = vec![(kb, Query::exact(QueryKind::Wmc), 0.0)];
+        for i in 1..60 {
+            let t = i as f64 * horizon / 60.0;
+            let q = if i % 2 == 0 {
+                Query::exact(QueryKind::Wmc)
+            } else {
+                Query::with_deadline(QueryKind::Wmc, Duration::from_nanos(1))
+            };
+            arrivals.push((kb, q, t));
+        }
+        let report = cluster.serve_at(&arrivals).unwrap();
+        assert!(report.stats.rejected > 20, "the workload is reject-heavy: {:?}", report.stats);
+        cluster.finish_slos(horizon);
+
+        let availability: Vec<_> =
+            cluster.slo_alerts().iter().filter(|a| a.slo == "availability").collect();
+        assert!(!availability.is_empty(), "sustained rejects must trip availability");
+        assert!(availability[0].resolved_at_s.is_some(), "finish_slos closes the alert");
+        assert!(availability[0].peak_burn_fast >= 10.0);
+
+        // The alert is a span on the reserved track, and the forest
+        // (queries + alert) stays well formed.
+        let spans = tel.tracer.finished();
+        assert!(reason_telemetry::is_well_formed_forest(&spans));
+        let alert_spans: Vec<_> =
+            spans.iter().filter(|s| s.name == "slo.alert" && s.track == SLO_TRACK).collect();
+        assert_eq!(alert_spans.len(), cluster.slo_alerts().len(), "one span per alert");
+
+        // Exemplars: the worst-latency query is the cold compile.
+        let worst = cluster.tail_exemplars(3);
+        assert!(!worst.is_empty());
+        assert!(worst[0].duration_s() >= worst.last().unwrap().duration_s());
+        assert!(
+            worst[0].chain.iter().any(|s| s.name == "serve.compile"),
+            "the tail exemplar keeps its full chain: {:?}",
+            worst[0].chain
+        );
+
+        // The latency histogram feeds the latency SLO.
+        let snap = tel.registry.snapshot();
+        assert!(snap.iter().any(|m| m.name == "cluster_modeled_latency_seconds"));
+        assert!(snap.iter().any(|m| m.name == "slo_burn_rate_fast"));
+    }
+
+    #[test]
+    fn healthy_cluster_keeps_default_slos_quiet() {
+        use reason_telemetry::{Telemetry, VirtualClock};
+
+        let tel = Arc::new(Telemetry::with_clock(VirtualClock::shared()));
+        let cnf = chain_cnf(8);
+        let mut cluster = ServeCluster::new(ClusterConfig::with_shards(2));
+        cluster.attach_telemetry(tel.clone());
+        let kb = cluster.register("chain", &cnf, WmcWeights::uniform(8));
+        cluster.install_slos(ServeCluster::default_slo_specs(1.0));
+
+        // Deadline-free queries spaced far apart: nothing rejects,
+        // nothing misses, modeled latencies sit far under 1 ms warm.
+        let arrivals: Vec<_> =
+            (0..40).map(|i| (kb, Query::exact(QueryKind::Wmc), i as f64 / 40.0)).collect();
+        let report = cluster.serve_at(&arrivals).unwrap();
+        cluster.finish_slos(1.0);
+        assert_eq!(report.stats.rejected, 0);
+        assert!(cluster.slo_alerts().is_empty(), "alerts: {:?}", cluster.slo_alerts());
+        // The slo_* metric families still export, so quiet and noisy
+        // sweeps share one deterministic schema.
+        let names: Vec<String> = tel.registry.snapshot().iter().map(|m| m.name.clone()).collect();
+        assert!(names.iter().any(|n| n == "slo_alerts_total"));
     }
 
     #[test]

@@ -75,7 +75,7 @@ pub mod store;
 
 pub use cluster::{
     AdmissionStats, ClusterConfig, ClusterKbId, ClusterOutcome, ClusterReport, HashRing,
-    ServeCluster, StageBreakdown,
+    ServeCluster, StageBreakdown, SLO_TRACK,
 };
 pub use engine::{Answer, KbId, ServeConfig, ServeEngine, ServeError, ServeOutcome, ServeReport};
 pub use fault::{
@@ -88,6 +88,10 @@ pub use kb::KnowledgeBase;
 /// re-exported here because the store's API is keyed by it.
 pub use reason_pc::fingerprint;
 pub use reason_pc::{ring_mix, FormulaFingerprint};
+/// SLO machinery the cluster's live evaluation builds on, re-exported
+/// so serving callers can declare objectives without importing the
+/// telemetry crate directly.
+pub use reason_telemetry::slo::{Objective, SloAlert, SloMonitor, SloSpec};
 pub use router::{
     Admission, KbTelemetry, Query, QueryKind, QueryRouter, Route, RouterConfig, RouterStats,
 };

@@ -34,8 +34,28 @@ fn fmt_labels(labels: &[(String, String)]) -> String {
     format!("{{{}}}", inner.join(","))
 }
 
+/// Escapes a label value for the text exposition. Beyond the three
+/// escapes the Prometheus format defines (`\\`, `\"`, `\n`), every
+/// other control character is rendered as a deterministic `\uXXXX`
+/// spelling — raw control bytes would corrupt line framing and fail
+/// [`lint_prometheus`]. Non-ASCII text passes through as UTF-8, which
+/// the format allows.
 fn escape_label(v: &str) -> String {
-    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if c.is_control() => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Renders metric snapshots in the Prometheus text exposition format:
@@ -105,6 +125,9 @@ pub fn lint_prometheus(text: &str) -> Result<(), String> {
         let err = |msg: &str| Err(format!("line {}: {msg}: {line:?}", ln + 1));
         if line.is_empty() {
             continue;
+        }
+        if line.chars().any(|c| c.is_control()) {
+            return err("raw control character");
         }
         if let Some(rest) = line.strip_prefix("# TYPE ") {
             let mut parts = rest.split(' ');
@@ -315,6 +338,48 @@ mod tests {
         assert!(json.contains("\"dur\":1500.000"));
         assert!(json.contains("\"tenant\":\"kb-a\""));
         assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn hostile_label_values_stay_lintable() {
+        let reg = MetricsRegistry::new();
+        // Control characters, quotes, backslashes, and non-ASCII — the
+        // kind of tenant names an adversarial client sends.
+        reg.counter("queries_total", &[("tenant", "a\r\nb\tc\u{7}d")]).inc();
+        reg.counter("queries_total", &[("tenant", "q\"uo\\te")]).inc();
+        reg.counter("queries_total", &[("tenant", "héllo→世界")]).inc();
+        let text = prometheus_text(&reg.snapshot());
+        lint_prometheus(&text).unwrap_or_else(|e| panic!("unlintable exposition: {e}\n{text}"));
+        assert!(!text.chars().any(|c| c.is_control() && c != '\n'), "no raw control bytes");
+        assert!(text.contains("a\\r\\nb\\tc\\u0007d"));
+        assert!(text.contains("q\\\"uo\\\\te"));
+        assert!(text.contains("héllo→世界"), "UTF-8 passes through unescaped");
+    }
+
+    #[test]
+    fn lint_rejects_raw_control_characters() {
+        assert!(lint_prometheus("# TYPE ok counter\nok{a=\"x\ry\"} 1\n").is_err());
+        assert!(lint_prometheus("# TYPE ok counter\nok{a=\"x\u{1}y\"} 1\n").is_err());
+    }
+
+    #[test]
+    fn chrome_trace_escapes_hostile_names_and_labels() {
+        let clock = VirtualClock::shared();
+        let tracer = Tracer::new(clock.clone());
+        let g = tracer.span_on(0, "bad\"name\\with\nctrl\u{1}", &[("k\t", "v\r→世界")]);
+        clock.set(1e-3);
+        g.end();
+        let json = chrome_trace_json(&tracer.finished());
+        // Raw control bytes would make the JSON unparsable; everything
+        // below 0x20 must come out escaped.
+        assert!(!json.chars().any(|c| c.is_control() && c != '\n'), "raw control byte in {json:?}");
+        assert!(json.contains("bad\\\"name\\\\with\\nctrl\\u0001"));
+        assert!(json.contains("\"k\\t\":\"v\\r→世界\""));
+        // Quotes balance after unescaping — a cheap structural check
+        // that escaping did not break string framing.
+        let unescaped_quotes =
+            json.as_bytes().windows(2).filter(|w| w[0] != b'\\' && w[1] == b'"').count();
+        assert_eq!(unescaped_quotes % 2, 0, "unescaped quotes pair up");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! stack (paper Sec. VII's per-stage attribution, made a first-class
 //! subsystem).
 //!
-//! Three pieces, all dependency-free:
+//! Five pieces, all dependency-free:
 //!
 //! * a [`MetricsRegistry`] of named counters, gauges, and log-bucketed
 //!   histograms with exact deterministic p50/p90/p99 extraction
@@ -12,7 +12,12 @@
 //!   [`VirtualClock`] in sweeps, so traces are byte-deterministic per
 //!   seed ([`trace`]);
 //! * two exporters — Prometheus-style text exposition and Chrome
-//!   `trace_event` JSON loadable in Perfetto ([`export`]).
+//!   `trace_event` JSON loadable in Perfetto ([`export`]);
+//! * flame-graph profiles folded from span forests — collapsed-stack
+//!   text, self/total hotspot tables, differential profiles, and
+//!   tail-latency exemplars ([`profile`]);
+//! * declarative SLOs over registry metrics with multi-window
+//!   burn-rate alerting on the injectable clock ([`slo`]).
 //!
 //! The serving stack (`reason-pc` compile phases, `reason-serve`
 //! store/router/cluster, `reason-system` executor) takes an optional
@@ -42,6 +47,8 @@
 pub mod clock;
 pub mod export;
 pub mod metrics;
+pub mod profile;
+pub mod slo;
 pub mod trace;
 
 use std::sync::Arc;
@@ -50,8 +57,11 @@ pub use clock::{Clock, VirtualClock, WallClock};
 pub use export::{chrome_trace_json, lint_prometheus, prometheus_text};
 pub use metrics::{
     bucket_lower, bucket_upper, valid_metric_name, Counter, Gauge, HistBucket, Histogram,
-    HistogramSnapshot, MetricSnapshot, MetricValue, MetricsRegistry,
+    HistogramSnapshot, MetricSnapshot, MetricValue, MetricsRegistry, DEFAULT_SERIES_LIMIT,
+    DROPPED_SERIES_METRIC,
 };
+pub use profile::{exemplars, Exemplar, Hotspot, Profile, StackDelta, StackWeight};
+pub use slo::{Objective, SloAlert, SloMonitor, SloSpec};
 pub use trace::{is_well_formed_forest, SpanGuard, SpanRecord, Tracer};
 
 /// The bundle instrumented components share: one registry plus one

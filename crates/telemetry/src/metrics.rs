@@ -133,6 +133,31 @@ impl Histogram {
         }
     }
 
+    /// Merges `other`'s current state into `self` — bucket-wise sums,
+    /// so the merged histogram's snapshot (buckets, count, sum,
+    /// quantiles) is identical to tallying both sample streams into one
+    /// histogram. The cross-shard aggregation path: each shard records
+    /// locally, the collector merges. Merging a histogram into itself
+    /// doubles it.
+    pub fn merge(&self, other: &Histogram) {
+        // Copy `other` out before locking `self`: the locks never
+        // overlap, so self-merge cannot deadlock.
+        let o = {
+            let s = other.0.lock().expect("histogram lock");
+            (s.finite.clone(), s.zero, s.negative, s.infinite, s.nan, s.sum, s.count)
+        };
+        let mut s = self.0.lock().expect("histogram lock");
+        for (idx, c) in o.0 {
+            *s.finite.entry(idx).or_insert(0) += c;
+        }
+        s.zero += o.1;
+        s.negative += o.2;
+        s.infinite += o.3;
+        s.nan += o.4;
+        s.sum += o.5;
+        s.count += o.6;
+    }
+
     /// An immutable copy of the current state.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let s = self.0.lock().expect("histogram lock");
@@ -259,24 +284,86 @@ pub enum MetricValue {
     Histogram(HistogramSnapshot),
 }
 
-#[derive(Debug, Default)]
+/// The counter that tallies series dropped by the cardinality guard.
+/// Exempt from the cap itself, so the drop signal always exports.
+pub const DROPPED_SERIES_METRIC: &str = "telemetry_dropped_series_total";
+
+/// Default cap on distinct registered series — far above any sane
+/// sweep (hundreds of series) yet a hard stop against adversarial
+/// label cardinality (e.g. a tenant id per request).
+pub const DEFAULT_SERIES_LIMIT: usize = 10_000;
+
+#[derive(Debug)]
 struct RegistryInner {
     counters: BTreeMap<MetricId, Counter>,
     gauges: BTreeMap<MetricId, Gauge>,
     histograms: BTreeMap<MetricId, Histogram>,
+    series_limit: usize,
+}
+
+impl Default for RegistryInner {
+    fn default() -> Self {
+        RegistryInner {
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            series_limit: DEFAULT_SERIES_LIMIT,
+        }
+    }
+}
+
+impl RegistryInner {
+    fn series_count(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// `true` when registering one more series under `name` would
+    /// exceed the cap. The drop counter itself is exempt: the overflow
+    /// signal must never be a casualty of the overflow.
+    fn would_overflow(&self, name: &str) -> bool {
+        name != DROPPED_SERIES_METRIC && self.series_count() >= self.series_limit
+    }
+
+    /// Tallies one dropped series.
+    fn count_drop(&mut self) {
+        self.counters.entry((DROPPED_SERIES_METRIC.to_string(), Vec::new())).or_default().inc();
+    }
 }
 
 /// The process-wide (or sweep-wide) collection of metrics. Handle
 /// lookup takes a lock; the returned handles do not.
+///
+/// # Cardinality guard
+///
+/// Distinct series (name + label set) are capped — at
+/// [`DEFAULT_SERIES_LIMIT`] by default,
+/// [`MetricsRegistry::with_series_limit`] to override. Once the cap is
+/// reached, lookups of *existing* series keep working, but a lookup
+/// that would mint a new series instead returns a detached handle (a
+/// live metric that is not exported) and increments
+/// [`DROPPED_SERIES_METRIC`] — so adversarial label cardinality
+/// degrades to a counted, visible drop instead of unbounded memory.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     inner: Mutex<RegistryInner>,
 }
 
 impl MetricsRegistry {
-    /// An empty registry.
+    /// An empty registry with the default series cap.
     pub fn new() -> Self {
         MetricsRegistry::default()
+    }
+
+    /// An empty registry capped at `limit` distinct series.
+    pub fn with_series_limit(limit: usize) -> Self {
+        let reg = MetricsRegistry::default();
+        reg.inner.lock().expect("registry lock").series_limit = limit;
+        reg
+    }
+
+    /// Distinct series currently registered.
+    pub fn series_count(&self) -> usize {
+        self.inner.lock().expect("registry lock").series_count()
     }
 
     fn id(name: &str, labels: &[(&str, &str)]) -> MetricId {
@@ -292,21 +379,45 @@ impl MetricsRegistry {
     /// use. Cache the handle; increments are lock-free.
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
         let id = Self::id(name, labels);
-        self.inner.lock().expect("registry lock").counters.entry(id).or_default().clone()
+        let mut inner = self.inner.lock().expect("registry lock");
+        if let Some(c) = inner.counters.get(&id) {
+            return c.clone();
+        }
+        if inner.would_overflow(name) {
+            inner.count_drop();
+            return Counter::default();
+        }
+        inner.counters.entry(id).or_default().clone()
     }
 
     /// The gauge registered under `(name, labels)`, created on first
     /// use.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
         let id = Self::id(name, labels);
-        self.inner.lock().expect("registry lock").gauges.entry(id).or_default().clone()
+        let mut inner = self.inner.lock().expect("registry lock");
+        if let Some(g) = inner.gauges.get(&id) {
+            return g.clone();
+        }
+        if inner.would_overflow(name) {
+            inner.count_drop();
+            return Gauge::default();
+        }
+        inner.gauges.entry(id).or_default().clone()
     }
 
     /// The histogram registered under `(name, labels)`, created on
     /// first use.
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
         let id = Self::id(name, labels);
-        self.inner.lock().expect("registry lock").histograms.entry(id).or_default().clone()
+        let mut inner = self.inner.lock().expect("registry lock");
+        if let Some(h) = inner.histograms.get(&id) {
+            return h.clone();
+        }
+        if inner.would_overflow(name) {
+            inner.count_drop();
+            return Histogram::default();
+        }
+        inner.histograms.entry(id).or_default().clone()
     }
 
     /// Every registered metric, sorted by `(name, labels)` — the
@@ -423,6 +534,71 @@ mod tests {
         let snap = reg.snapshot();
         let names: Vec<&str> = snap.iter().map(|m| m.name.as_str()).collect();
         assert_eq!(names, vec!["a_value", "b_total", "c_hist"]);
+    }
+
+    #[test]
+    fn merged_histograms_match_a_single_tally() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        let one = Histogram::default();
+        let samples_a = [0.0, 1.0, 7.0, -3.0, f64::INFINITY, f64::NAN, 1e9];
+        let samples_b = [2.0, 7.0, 0.0, 512.0];
+        for v in samples_a {
+            a.record(v);
+            one.record(v);
+        }
+        for v in samples_b {
+            b.record(v);
+            one.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.snapshot(), one.snapshot(), "merge == tallying into one histogram");
+        assert_eq!(a.snapshot().p99(), one.snapshot().p99());
+    }
+
+    #[test]
+    fn self_merge_doubles() {
+        let h = Histogram::default();
+        h.record(1.0);
+        h.record(4.0);
+        h.merge(&h);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.sum, 10.0);
+    }
+
+    #[test]
+    fn cardinality_guard_drops_new_series_past_the_cap() {
+        let reg = MetricsRegistry::with_series_limit(3);
+        let a = reg.counter("kept_total", &[("tenant", "a")]);
+        let b = reg.counter("kept_total", &[("tenant", "b")]);
+        reg.gauge("kept_value", &[]);
+        assert_eq!(reg.series_count(), 3);
+        // At capacity: a new series is dropped, counted, and detached.
+        let dropped = reg.counter("kept_total", &[("tenant", "zzz")]);
+        dropped.inc();
+        reg.histogram("new_hist", &[]).record(1.0);
+        reg.gauge("new_value", &[]).set(9.0);
+        assert_eq!(reg.counter(DROPPED_SERIES_METRIC, &[]).get(), 3);
+        // Existing series still resolve to their shared state...
+        a.inc();
+        reg.counter("kept_total", &[("tenant", "a")]).inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(b.get(), 0);
+        // ...and the snapshot holds the capped set plus the drop
+        // counter, not the adversarial series.
+        let names: Vec<String> = reg.snapshot().iter().map(|m| m.name.clone()).collect();
+        assert_eq!(names, vec!["kept_total", "kept_total", "kept_value", DROPPED_SERIES_METRIC]);
+    }
+
+    #[test]
+    fn default_limit_is_roomy() {
+        let reg = MetricsRegistry::new();
+        for i in 0..100 {
+            reg.counter("series_total", &[("i", &i.to_string())]).inc();
+        }
+        assert_eq!(reg.series_count(), 100);
+        assert_eq!(reg.counter(DROPPED_SERIES_METRIC, &[]).get(), 0);
     }
 
     #[test]

@@ -611,6 +611,86 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn histogram_merge_matches_single_tally(
+        shards in prop::collection::vec(
+            prop::collection::vec(-1_000i32..1_000_000, 0..30),
+            1..5,
+        )
+    ) {
+        // Cross-shard aggregation contract: per-shard histograms merged
+        // into a collector must be indistinguishable from tallying every
+        // sample into one histogram — buckets, counts, and (for
+        // integer-valued samples, whose f64 sums are exact in any
+        // order) the running sum, bit for bit.
+        use reason::telemetry::Histogram;
+        let merged = Histogram::default();
+        let single = Histogram::default();
+        for shard in &shards {
+            let local = Histogram::default();
+            for &v in shard {
+                local.record(f64::from(v));
+                single.record(f64::from(v));
+            }
+            merged.merge(&local);
+        }
+        let (a, b) = (merged.snapshot(), single.snapshot());
+        prop_assert_eq!(&a.buckets, &b.buckets);
+        prop_assert_eq!(a.count, b.count);
+        prop_assert_eq!(a.nan, b.nan);
+        prop_assert_eq!(a.sum.to_bits(), b.sum.to_bits(), "sum {} vs {}", a.sum, b.sum);
+    }
+
+    #[test]
+    fn stage_breakdown_partitions_modeled_latency_exactly(
+        cnf in arb_cnf(8, 14), seed in 0u64..500, faulted in any::<bool>()
+    ) {
+        // The attribution contract behind `reason-eval trace`:
+        // queue_s + compile_s + exec_s IS the modeled latency — not
+        // within a tolerance, but bit for bit — for every outcome,
+        // with or without an active fault plan (failover recompiles
+        // and retry backoff must flow into the same partition).
+        use std::time::Duration;
+        use reason::pc::CompiledWmc;
+        use reason::serve::{
+            ClusterConfig, FaultConfig, FaultPlan, Query, QueryKind, ServeCluster, ServeConfig,
+        };
+        let weights = WmcWeights::uniform(8);
+        if !CompiledWmc::new(&cnf, &weights).has_mass() {
+            return Ok(()); // massless KBs are rejected at registration
+        }
+        let shards = 2 + (seed as usize) % 3;
+        let mut config = ClusterConfig::with_shards(shards);
+        config.engine = ServeConfig { approx_seed: seed, ..ServeConfig::default() };
+        let mut cluster = ServeCluster::new(config);
+        let kb = cluster.register("kb", &cnf, weights);
+        if faulted {
+            cluster.install_fault_domain(
+                FaultPlan::seeded(seed, shards, 8.0),
+                FaultConfig::default(),
+            );
+        }
+        let arrivals: Vec<_> = (0..8)
+            .map(|i| {
+                let q = match i % 3 {
+                    0 => Query::exact(QueryKind::Wmc),
+                    1 => Query::with_deadline(QueryKind::Wmc, Duration::from_micros(200)),
+                    _ => Query::with_deadline(QueryKind::Wmc, Duration::from_millis(10)),
+                };
+                (kb, q, i as f64)
+            })
+            .collect();
+        let report = cluster.serve_at(&arrivals).unwrap();
+        prop_assert_eq!(report.outcomes.len(), arrivals.len());
+        for outcome in &report.outcomes {
+            prop_assert_eq!(
+                outcome.stage.total().to_bits(),
+                outcome.modeled_latency_s.to_bits(),
+                "stage partition must be exact (faulted={}): {:?}", faulted, outcome
+            );
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
